@@ -1,0 +1,87 @@
+// Command authbench regenerates every table and figure of the paper's
+// evaluation (Section 5). Each subcommand prints the same rows/series
+// the paper reports, alongside the paper's values where they are stated
+// numerically, so shape comparisons are direct.
+//
+// Usage:
+//
+//	authbench <experiment> [flags]
+//
+// Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
+// fig11 all
+//
+// Absolute numbers depend on the host; the substitutions versus the
+// paper's testbed are catalogued in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(args []string) error
+}
+
+var experiments = []experiment{
+	{"table1", "index height: ASign vs EMB-tree for N = 10k..100M", runTable1},
+	{"table3", "costs of cryptographic primitives (BAS, condensed RSA, SHA)", runTable3},
+	{"table4", "standalone query/update performance, EMB- vs BAS", runTable4},
+	{"fig4", "viable (IA/IB, IB/p) configurations for Bloom-filter joins", runFig4},
+	{"fig6", "SigCache: VO construction cost vs cached signature pairs", runFig6},
+	{"fig7", "response time vs arrival rate, point ops (sf=1e-6)", runFig7},
+	{"fig8", "compressed update summaries: size and signature age vs ρ'", runFig8},
+	{"fig9", "response time vs arrival rate, range ops (sf=1e-3)", runFig9},
+	{"fig10", "SigCache effectiveness vs cache size, Eager vs Lazy", runFig10},
+	{"fig11", "equi-join VO size: BV vs BF across α, m/IB, IB/p, selectivity", runFig11},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	args := os.Args[2:]
+	if name == "all" {
+		for _, e := range experiments {
+			fmt.Printf("\n================ %s: %s ================\n", e.name, e.desc)
+			if err := e.run(nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			if err := e.run(args); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: authbench <experiment> [flags]")
+	fmt.Fprintln(os.Stderr, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all      run every experiment with defaults")
+}
+
+// newFlags builds a FlagSet that errors instead of exiting, so `all`
+// can pass nil args.
+func newFlags(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	return fs
+}

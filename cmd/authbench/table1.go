@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+
+	"authdb/internal/btree"
+	"authdb/internal/storage"
+)
+
+// runTable1 regenerates Table 1: the height of the index tree versus N
+// for the signature-aggregation index ("ASign") and the EMB-tree, from
+// the §3.2 page arithmetic, cross-checked against really built trees up
+// to 1M entries.
+func runTable1(args []string) error {
+	fs := newFlags("table1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := storage.DefaultPageConfig()
+	ns := []int64{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+	paperASign := []int{1, 2, 2, 2, 3}
+	paperEMB := []int{2, 2, 3, 3, 4}
+
+	fmt.Printf("page=%dB key=%dB sig/digest=%dB rid=%dB util=%.2f\n",
+		cfg.PageSize, cfg.KeySize, cfg.SigSize, cfg.RIDSize, cfg.Utilization)
+	fmt.Printf("leaf capacity=%d, ASign fanout=%d, EMB fanout=%d\n\n",
+		cfg.LeafCapacityASign(), cfg.InternalFanoutASign(), cfg.InternalFanoutEMB())
+
+	fmt.Printf("%-12s %18s %18s\n", "N", "ASign height", "EMB- height")
+	fmt.Printf("%-12s %9s %8s %9s %8s\n", "", "ours", "paper", "ours", "paper")
+	for i, n := range ns {
+		fmt.Printf("%-12d %9d %8d %9d %8d\n",
+			n, cfg.HeightASign(n), paperASign[i], cfg.HeightEMB(n), paperEMB[i])
+	}
+
+	// Cross-check against real bulk-loaded ASign trees (up to 1M for
+	// memory reasons).
+	fmt.Println("\ncross-check with real bulk-loaded ASign trees:")
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		entries := make([]btree.Entry, n)
+		for i := range entries {
+			entries[i] = btree.Entry{Key: int64(i)}
+		}
+		tr, err := btree.BulkLoad(cfg, entries)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  N=%-9d built height=%d formula=%d\n",
+			n, tr.Height(), cfg.HeightASign(int64(n)))
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package authdb is a reproduction of "Scalable Verification for
+// Outsourced Dynamic Databases" (Pang, Zhang, Mouratidis; VLDB 2009): a
+// query-answer authentication system for outsourced databases built on
+// signature aggregation rather than Merkle hash trees, providing
+// authenticity, completeness and freshness guarantees while supporting
+// concurrent updates.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory), runnable examples under examples/, and the
+// experiment harness that regenerates every table and figure of the
+// paper under cmd/authbench. The root package exists to carry the
+// module documentation and the per-experiment benchmark suite
+// (bench_test.go).
+package authdb

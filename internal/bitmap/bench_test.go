@@ -1,0 +1,52 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sparseBitmap(n, marks int) *Bitmap {
+	b := New(n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < marks; i++ {
+		b.Set(rng.Intn(n))
+	}
+	return b
+}
+
+func BenchmarkCompressSparse(b *testing.B) {
+	bm := sparseBitmap(1_000_000, 500)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		size = len(bm.Compress())
+	}
+	b.ReportMetric(float64(size), "bytes")
+}
+
+func BenchmarkDecompressSparse(b *testing.B) {
+	data := sparseBitmap(1_000_000, 500).Compress()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(1_000_000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Set(rng.Intn(1_000_000))
+	}
+}
+
+func BenchmarkOnes(b *testing.B) {
+	bm := sparseBitmap(1_000_000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = bm.Ones()
+	}
+}

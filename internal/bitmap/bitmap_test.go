@@ -1,0 +1,191 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(100)
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(99)
+	for _, i := range []int{0, 63, 64, 99} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if b.Get(1) || b.Get(62) || b.Get(65) {
+		t.Fatal("unset bit reads as set")
+	}
+	b.Clear(63)
+	if b.Get(63) {
+		t.Fatal("Clear failed")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+}
+
+func TestSetGrows(t *testing.T) {
+	b := New(10)
+	b.Set(1000) // appending '1'-bits for inserted records
+	if b.Len() != 1001 {
+		t.Fatalf("Len = %d, want 1001", b.Len())
+	}
+	if !b.Get(1000) {
+		t.Fatal("grown bit not set")
+	}
+}
+
+func TestOutOfRangeReadsZero(t *testing.T) {
+	b := New(8)
+	if b.Get(100) || b.Get(-1) {
+		t.Fatal("out-of-range Get must be false")
+	}
+	b.Clear(100) // must not panic
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1) must panic")
+		}
+	}()
+	New(1).Set(-1)
+}
+
+func TestOnes(t *testing.T) {
+	b := New(200)
+	want := []int{3, 64, 65, 127, 128, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	b := New(1 << 20) // 1M records, as in the paper
+	for _, i := range []int{0, 1, 1000, 99999, 1<<20 - 1} {
+		b.Set(i)
+	}
+	c, err := Decompress(b.Compress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != b.Len() || c.Count() != b.Count() {
+		t.Fatal("round trip changed shape")
+	}
+	for _, i := range []int{0, 1, 1000, 99999, 1<<20 - 1} {
+		if !c.Get(i) {
+			t.Fatalf("bit %d lost in round trip", i)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// The paper: compressed length is 2–3x the number of set bits (in
+	// bytes). Our delta-varint encoding must stay within 3 bytes per set
+	// bit for a sparse 1M-bit bitmap with 1000 random-ish updates.
+	b := New(1 << 20)
+	setBits := 1000
+	for i := 0; i < setBits; i++ {
+		b.Set(i * 1040)
+	}
+	size := len(b.Compress())
+	if size > 3*setBits {
+		t.Fatalf("compressed size %d > 3 bytes/update", size)
+	}
+	if size < setBits/8 {
+		t.Fatalf("suspiciously small compressed size %d", size)
+	}
+}
+
+func TestCompressEmptyBitmap(t *testing.T) {
+	b := New(1000)
+	c, err := Decompress(b.Compress())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 0 || c.Len() != 1000 {
+		t.Fatal("empty bitmap round trip failed")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	b := New(100)
+	b.Set(50)
+	data := b.Compress()
+	if _, err := Decompress(data[:1]); err == nil {
+		t.Fatal("truncated data must fail")
+	}
+	if _, err := Decompress(append(data, 0xFF)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("empty data must fail")
+	}
+}
+
+func TestDigestChangesWithContents(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Set(3)
+	b.Set(4)
+	if a.Digest() == b.Digest() {
+		t.Fatal("different bitmaps share a digest")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	c := a.Clone()
+	c.Set(20)
+	if a.Get(20) {
+		t.Fatal("Clone is not deep")
+	}
+	if !c.Get(10) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(64)
+	b.Set(1)
+	b.Set(2)
+	b.Reset()
+	if b.Count() != 0 || b.Len() != 64 {
+		t.Fatal("Reset must clear bits and keep length")
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	prop := func(positions []uint16) bool {
+		b := New(1 << 16)
+		for _, p := range positions {
+			b.Set(int(p))
+		}
+		c, err := Decompress(b.Compress())
+		if err != nil {
+			return false
+		}
+		for _, p := range positions {
+			if !c.Get(int(p)) {
+				return false
+			}
+		}
+		return c.Count() == b.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package chain implements the signature-chaining technique of §3.3
+// (after Pang et al. and Narasimha & Tsudik): each record's signature
+// covers the record content plus references to its immediate left and
+// right neighbours in indexed-attribute order, so that a contiguous run
+// of records can be proven complete with just two boundary references
+// and one aggregate signature.
+//
+// Neighbour references carry both the neighbour's key and its rid: with
+// key alone, duplicate join-attribute values (e.g. S.B in §3.5) would
+// let a server drop one of several equal-keyed records undetected.
+package chain
+
+import (
+	"fmt"
+	"math"
+
+	"authdb/internal/digest"
+	"authdb/internal/sigagg"
+)
+
+// Sentinel keys marking the domain edges. The data aggregator chains the
+// first (last) record of the relation to the Min (Max) sentinel.
+const (
+	MinKey = math.MinInt64
+	MaxKey = math.MaxInt64
+)
+
+// Ref identifies a record position in indexed-attribute order.
+type Ref struct {
+	Key int64
+	RID uint64
+}
+
+// MinRef and MaxRef are the sentinel neighbour references.
+var (
+	MinRef = Ref{Key: MinKey}
+	MaxRef = Ref{Key: MaxKey, RID: math.MaxUint64}
+)
+
+// Less orders refs by (Key, RID).
+func (r Ref) Less(o Ref) bool {
+	if r.Key != o.Key {
+		return r.Key < o.Key
+	}
+	return r.RID < o.RID
+}
+
+// Record is the relation schema of §3.1: ⟨rid, A1..AM, ts⟩ with Key the
+// indexed attribute Aind.
+type Record struct {
+	RID   uint64
+	Key   int64 // the indexed attribute Aind
+	Attrs [][]byte
+	TS    int64
+}
+
+// Ref returns the record's own chain reference.
+func (r *Record) Ref() Ref { return Ref{Key: r.Key, RID: r.RID} }
+
+// Digest computes the chained record digest
+// h(rid | Aind | A1..AM | ts | left | right), the message the data
+// aggregator signs for record r with neighbours left and right.
+func Digest(r *Record, left, right Ref) digest.Digest {
+	w := digest.NewWriter(64 + 16*len(r.Attrs))
+	w.PutUint64(r.RID)
+	w.PutInt64(r.Key)
+	w.PutUint64(uint64(len(r.Attrs)))
+	for _, a := range r.Attrs {
+		w.PutBytes(a)
+	}
+	w.PutInt64(r.TS)
+	w.PutInt64(left.Key)
+	w.PutUint64(left.RID)
+	w.PutInt64(right.Key)
+	w.PutUint64(right.RID)
+	return w.Sum()
+}
+
+// Answer is the verifiable result of a range selection σ_{lo<=Aind<=hi}.
+//
+// For a non-empty answer, Records holds the qualifying records in
+// (Key, RID) order and Left/Right the boundary references enclosing
+// them. For an empty answer the proof is anchored on the boundary
+// record immediately left of the range: Anchor is that record,
+// AnchorLeft its own left neighbour, and Right its right neighbour
+// (which must lie beyond the range). Agg is the aggregate signature over
+// the chained digests of Records (or of the Anchor).
+type Answer struct {
+	Lo, Hi     int64
+	Records    []*Record
+	Left       Ref
+	Right      Ref
+	Anchor     *Record
+	AnchorLeft Ref
+	Agg        sigagg.Signature
+}
+
+// Digests reconstructs the chained digests the aggregate signature must
+// cover, in answer order.
+func (a *Answer) Digests() [][]byte {
+	if len(a.Records) == 0 {
+		if a.Anchor == nil {
+			return nil
+		}
+		d := Digest(a.Anchor, a.AnchorLeft, a.Right)
+		return [][]byte{d[:]}
+	}
+	out := make([][]byte, len(a.Records))
+	for i, r := range a.Records {
+		left := a.Left
+		if i > 0 {
+			left = a.Records[i-1].Ref()
+		}
+		right := a.Right
+		if i < len(a.Records)-1 {
+			right = a.Records[i+1].Ref()
+		}
+		d := Digest(r, left, right)
+		out[i] = d[:]
+	}
+	return out
+}
+
+// VOSizeBytes reports the proof size beyond the records themselves: one
+// aggregate signature plus the boundary references, matching the
+// accounting of §3.3 (signature + two boundary values).
+func (a *Answer) VOSizeBytes(scheme sigagg.Scheme) int {
+	size := scheme.SignatureSize() + 2*12 // two (key, rid) refs
+	if a.Anchor != nil {
+		size += 12 // the anchor's extra left reference
+	}
+	return size
+}
+
+// Verify checks authenticity and completeness of the answer for the
+// range [lo, hi] under the signer pub.
+func Verify(scheme sigagg.Scheme, pub sigagg.PublicKey, a *Answer) error {
+	if a == nil {
+		return fmt.Errorf("%w: nil answer", sigagg.ErrVerify)
+	}
+	lo, hi := a.Lo, a.Hi
+	if len(a.Records) == 0 {
+		// Empty answer: the anchor's chain edge must jump the whole
+		// range. The anchor is the record on either side of the gap:
+		// left-anchored (anchor below lo, right neighbour above hi) or
+		// right-anchored (anchor above hi, left neighbour below lo).
+		if a.Anchor == nil {
+			return fmt.Errorf("%w: empty answer without anchor", sigagg.ErrVerify)
+		}
+		switch {
+		case a.Anchor.Key < lo:
+			if a.Right.Key <= hi {
+				return fmt.Errorf("%w: anchor's right neighbour %d inside range [%d,%d]",
+					sigagg.ErrVerify, a.Right.Key, lo, hi)
+			}
+		case a.Anchor.Key > hi:
+			if a.AnchorLeft.Key >= lo {
+				return fmt.Errorf("%w: anchor's left neighbour %d inside range [%d,%d]",
+					sigagg.ErrVerify, a.AnchorLeft.Key, lo, hi)
+			}
+		default:
+			return fmt.Errorf("%w: anchor key %d inside range [%d,%d]",
+				sigagg.ErrVerify, a.Anchor.Key, lo, hi)
+		}
+	} else {
+		if a.Anchor != nil {
+			return fmt.Errorf("%w: non-empty answer with anchor", sigagg.ErrVerify)
+		}
+		// Records strictly ordered and inside the range.
+		for i, r := range a.Records {
+			if r.Key < lo || r.Key > hi {
+				return fmt.Errorf("%w: record %d outside range [%d,%d]",
+					sigagg.ErrVerify, r.Key, lo, hi)
+			}
+			if i > 0 && !a.Records[i-1].Ref().Less(r.Ref()) {
+				return fmt.Errorf("%w: records out of order", sigagg.ErrVerify)
+			}
+		}
+		// Boundaries must enclose the range: left strictly below lo,
+		// right strictly above hi (sentinels at the domain edges).
+		if a.Left.Key >= lo {
+			return fmt.Errorf("%w: left boundary %d not below range", sigagg.ErrVerify, a.Left.Key)
+		}
+		if a.Right.Key <= hi {
+			return fmt.Errorf("%w: right boundary %d not above range", sigagg.ErrVerify, a.Right.Key)
+		}
+	}
+	return scheme.AggregateVerify(pub, a.Digests(), a.Agg)
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/sigcache"
+)
+
+// TestConcurrentQueriesAndUpdates exercises the server-side concurrency
+// claim of §3.2: queries proceed while updates to individual records
+// apply, with no global serialization point. Run with -race.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	sys := newSystem(t, xortest.New())
+	load(t, sys, 512)
+	if err := sys.QS.EnableSigCache(sigcache.Uniform, 8, sigcache.Lazy); err != nil {
+		t.Fatal(err)
+	}
+
+	// The DA is single-writer by design; serialize its operations and
+	// fan the resulting messages into the concurrently-queried server.
+	msgs := make(chan *UpdateMsg, 256)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(msgs)
+		for i := 0; i < 200; i++ {
+			key := int64((i%512)+1) * 10
+			msg, err := sys.DA.Update(key, [][]byte{[]byte(fmt.Sprintf("v-%d", i))}, int64(100+i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			msgs <- msg
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for msg := range msgs {
+			if err := sys.QS.Apply(msg); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				lo := int64((seed*37+int64(i)*11)%4000) + 1
+				ans, err := sys.QS.Query(lo, lo+500)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Every answer must verify even while updates land: the
+				// answer is a consistent snapshot under the server lock.
+				v := NewVerifier(sys.Scheme, sys.Pub, DefaultConfig())
+				if _, err := v.VerifyAnswer(ans, lo, lo+500, 10_000); err != nil {
+					t.Errorf("concurrent answer failed verification: %v", err)
+					return
+				}
+				_ = sys.QS.Len()
+				_ = sys.QS.CacheStats()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+
+	// Final state remains verifiable.
+	ans, err := sys.QS.Query(10, 5120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Verifier.VerifyAnswer(ans, 10, 5120, 10_000); err != nil {
+		t.Fatal(err)
+	}
+}

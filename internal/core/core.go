@@ -1,0 +1,108 @@
+// Package core ties the paper's mechanisms into the three-party protocol
+// of Section 1: a trusted DataAggregator that owns the data and signing
+// key, an untrusted QueryServer that answers range selections with
+// correctness proofs, and a user-side Verifier that checks authenticity,
+// completeness (signature chaining, §3.3) and freshness (certified
+// update summaries, §3.1). The server can employ SigCache (§4) to
+// accelerate proof construction.
+//
+// The DataAggregator produces explicit UpdateMsg values that the caller
+// delivers to the QueryServer (and the summaries within them to
+// Verifiers), mirroring the DA → QS dissemination path; tests and the
+// simulator can interpose on this channel.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+)
+
+// Record is the relation schema ⟨rid, Aind, A1..AM, ts⟩.
+type Record = chain.Record
+
+// SignedRecord pairs a record with its chained signature.
+type SignedRecord struct {
+	Rec *Record
+	Sig sigagg.Signature
+}
+
+// UpdateMsg is one dissemination unit from the DataAggregator: fresh or
+// re-signed records (including chaining neighbours), deletions, and —
+// when a ρ-period closes — the certified summary.
+type UpdateMsg struct {
+	TS      int64
+	Upserts []SignedRecord
+	Deletes []uint64 // rids removed from the relation
+	Summary *freshness.Summary
+}
+
+// Config selects the protocol parameters (Table 2 defaults via
+// DefaultConfig).
+type Config struct {
+	Rho      int64 // summary period ρ
+	RhoPrime int64 // signature renewal age ρ'
+}
+
+// DefaultConfig returns ρ = 1s and ρ' = 900s expressed in milliseconds,
+// the paper's defaults.
+func DefaultConfig() Config {
+	return Config{Rho: 1_000, RhoPrime: 900_000}
+}
+
+// ErrUnknownKey is returned for operations on absent records.
+var ErrUnknownKey = errors.New("core: unknown key")
+
+// recordDigest computes the chained digest of rec between its
+// neighbours.
+func recordDigest(rec *Record, left, right chain.Ref) []byte {
+	d := chain.Digest(rec, left, right)
+	return d[:]
+}
+
+// System bundles a freshly keyed DA/QS/Verifier trio sharing one
+// scheme, for examples and tests.
+type System struct {
+	DA       *DataAggregator
+	QS       *QueryServer
+	Verifier *Verifier
+	Scheme   sigagg.Scheme
+	Pub      sigagg.PublicKey
+}
+
+// NewSystem generates a key pair for the scheme and wires the three
+// parties. The scheme is bound to the signer where required (condensed
+// RSA).
+func NewSystem(scheme sigagg.Scheme, cfg Config) (*System, error) {
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: keygen: %w", err)
+	}
+	bound, err := sigagg.Bind(scheme, pub)
+	if err != nil {
+		return nil, err
+	}
+	da, err := NewDataAggregator(bound, priv, cfg)
+	if err != nil {
+		return nil, err
+	}
+	qs := NewQueryServer(bound)
+	v := NewVerifier(bound, pub, cfg)
+	return &System{DA: da, QS: qs, Verifier: v, Scheme: bound, Pub: pub}, nil
+}
+
+// Deliver applies a DA message to the server and the verifier's summary
+// checker (the user receives summaries from the server on log-in or
+// alongside answers; delivering eagerly models a subscribed user).
+func (s *System) Deliver(msg *UpdateMsg) error {
+	if msg == nil {
+		return nil
+	}
+	if err := s.QS.Apply(msg); err != nil {
+		return err
+	}
+	return nil
+}

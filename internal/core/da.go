@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"authdb/internal/btree"
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+	"authdb/internal/storage"
+)
+
+// DataAggregator is the trusted data owner: it maintains the relation,
+// chain-signs records, publishes ρ-period summaries, and renews aging
+// signatures (§3.1).
+type DataAggregator struct {
+	scheme sigagg.Scheme
+	priv   sigagg.PrivateKey
+	cfg    Config
+
+	index   *btree.Tree        // key -> (rid, current signature)
+	byRID   map[uint64]*Record // rid -> record content
+	certTS  map[uint64]int64   // rid -> last certification time
+	nextRID uint64
+
+	pub *freshness.Publisher
+
+	// multiPending are slots updated more than once last period, due for
+	// re-certification this period (§3.1).
+	multiPending []int
+
+	// renewCursor walks the rid space for the low-priority renewal
+	// process.
+	renewCursor uint64
+}
+
+// NewDataAggregator creates an empty aggregator. The scheme must
+// already be bound (see sigagg.Bind) when it requires signer
+// parameters.
+func NewDataAggregator(scheme sigagg.Scheme, priv sigagg.PrivateKey, cfg Config) (*DataAggregator, error) {
+	if cfg.Rho <= 0 {
+		return nil, fmt.Errorf("core: non-positive ρ")
+	}
+	return &DataAggregator{
+		scheme: scheme,
+		priv:   priv,
+		cfg:    cfg,
+		index:  btree.New(storage.DefaultPageConfig()),
+		byRID:  make(map[uint64]*Record),
+		certTS: make(map[uint64]int64),
+		pub:    freshness.NewPublisher(scheme, priv, 0, 0, 0),
+	}, nil
+}
+
+// Len returns the relation cardinality.
+func (da *DataAggregator) Len() int { return da.index.Len() }
+
+// slot maps a record to its summary-bitmap position.
+func slot(rid uint64) int { return int(rid) }
+
+// signAt certifies a new version of rec chained between left and right
+// at time ts. It never mutates rec: outstanding answers and the query
+// server hold references to earlier versions, so each certification
+// produces a fresh Record value.
+func (da *DataAggregator) signAt(rec *Record, left, right chain.Ref, ts int64, out *[]SignedRecord) error {
+	version := &Record{RID: rec.RID, Key: rec.Key, Attrs: rec.Attrs, TS: ts}
+	sig, err := da.scheme.Sign(da.priv, recordDigest(version, left, right))
+	if err != nil {
+		return fmt.Errorf("core: sign rid %d: %w", version.RID, err)
+	}
+	if !da.index.Update(version.Key, sig) {
+		if err := da.index.Insert(btree.Entry{Key: version.Key, RID: version.RID, Sig: sig}); err != nil {
+			return err
+		}
+	}
+	da.byRID[version.RID] = version
+	da.certTS[version.RID] = ts
+	da.pub.MarkUpdated(slot(version.RID))
+	*out = append(*out, SignedRecord{Rec: version, Sig: sig})
+	return nil
+}
+
+// neighbours returns the chain references around key.
+func (da *DataAggregator) neighbours(key int64) (left, right chain.Ref) {
+	left, right = chain.MinRef, chain.MaxRef
+	if p, ok := da.index.Predecessor(key); ok {
+		left = chain.Ref{Key: p.Key, RID: p.RID}
+	}
+	if s, ok := da.index.Successor(key); ok {
+		right = chain.Ref{Key: s.Key, RID: s.RID}
+	}
+	return left, right
+}
+
+// resign re-signs the existing record with the given key against its
+// current neighbours (used when a neighbour's identity changes and for
+// active renewal).
+func (da *DataAggregator) resign(key int64, ts int64, out *[]SignedRecord) error {
+	e, ok := da.index.Get(key)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownKey, key)
+	}
+	rec := da.byRID[e.RID]
+	left, right := da.neighbours(key)
+	return da.signAt(rec, left, right, ts, out)
+}
+
+// Load bulk-inserts the records (sorted or not; keys must be unique) at
+// time ts and returns the dissemination message carrying every signed
+// record. Typically called once to seed the query server.
+func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
+	sorted := make([]*Record, len(recs))
+	copy(sorted, recs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	msg := &UpdateMsg{TS: ts}
+	for i, rec := range sorted {
+		if i > 0 && rec.Key == sorted[i-1].Key {
+			return nil, fmt.Errorf("core: duplicate key %d in load", rec.Key)
+		}
+		if rec.RID == 0 {
+			da.nextRID++
+			rec.RID = da.nextRID
+		} else if rec.RID > da.nextRID {
+			da.nextRID = rec.RID
+		}
+		da.byRID[rec.RID] = rec
+	}
+	for i, rec := range sorted {
+		left, right := chain.MinRef, chain.MaxRef
+		if i > 0 {
+			left = sorted[i-1].Ref()
+		}
+		if i < len(sorted)-1 {
+			right = sorted[i+1].Ref()
+		}
+		if err := da.signAt(rec, left, right, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	return msg, nil
+}
+
+// Insert adds a new record at time ts. The chaining of both neighbours
+// changes, so they are re-signed in the same message.
+func (da *DataAggregator) Insert(rec *Record, ts int64) (*UpdateMsg, error) {
+	if _, exists := da.index.Get(rec.Key); exists {
+		return nil, fmt.Errorf("core: key %d already present", rec.Key)
+	}
+	if rec.RID == 0 {
+		da.nextRID++
+		rec.RID = da.nextRID
+	}
+	da.byRID[rec.RID] = rec
+	msg := &UpdateMsg{TS: ts}
+	left, right := da.neighbours(rec.Key)
+	if err := da.signAt(rec, left, right, ts, &msg.Upserts); err != nil {
+		return nil, err
+	}
+	if left != chain.MinRef {
+		if err := da.resign(left.Key, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	if right != chain.MaxRef {
+		if err := da.resign(right.Key, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	return msg, nil
+}
+
+// Update replaces the record's attribute values at time ts; neighbours
+// are unaffected (the chain references only keys and rids).
+func (da *DataAggregator) Update(key int64, attrs [][]byte, ts int64) (*UpdateMsg, error) {
+	e, ok := da.index.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKey, key)
+	}
+	msg := &UpdateMsg{TS: ts}
+	left, right := da.neighbours(key)
+	newVersion := &Record{RID: e.RID, Key: key, Attrs: attrs}
+	if err := da.signAt(newVersion, left, right, ts, &msg.Upserts); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Delete removes the record at time ts; its former neighbours now chain
+// to each other and are re-signed.
+func (da *DataAggregator) Delete(key int64, ts int64) (*UpdateMsg, error) {
+	e, ok := da.index.Get(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownKey, key)
+	}
+	left, right := da.neighbours(key)
+	da.index.Delete(key)
+	delete(da.byRID, e.RID)
+	delete(da.certTS, e.RID)
+	da.pub.MarkUpdated(slot(e.RID))
+	msg := &UpdateMsg{TS: ts, Deletes: []uint64{e.RID}}
+	if left != chain.MinRef {
+		if err := da.resign(left.Key, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	if right != chain.MaxRef {
+		if err := da.resign(right.Key, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	return msg, nil
+}
+
+// ClosePeriod certifies the current ρ-period's summary at time ts and
+// re-certifies the records that were updated multiple times during the
+// previous period (§3.1's multi-update rule). The returned message
+// carries the summary plus those re-signed records.
+func (da *DataAggregator) ClosePeriod(ts int64) (*UpdateMsg, error) {
+	msg := &UpdateMsg{TS: ts}
+	// Re-certify last period's multi-updated records first, so the
+	// summary being published now reflects the re-certification.
+	for _, sl := range da.multiPending {
+		rid := uint64(sl)
+		rec, ok := da.byRID[rid]
+		if !ok {
+			continue // deleted meanwhile
+		}
+		if err := da.resign(rec.Key, ts, &msg.Upserts); err != nil {
+			return nil, err
+		}
+	}
+	summary, multi, err := da.pub.Publish(ts)
+	if err != nil {
+		return nil, err
+	}
+	da.multiPending = multi
+	msg.Summary = &summary
+	return msg, nil
+}
+
+// RenewOld re-signs up to budget records whose signatures are older
+// than ρ' at time now — the low-priority renewal process of §3.1. It
+// returns the dissemination message (possibly empty) and the number of
+// records renewed.
+func (da *DataAggregator) RenewOld(now int64, budget int) (*UpdateMsg, int, error) {
+	msg := &UpdateMsg{TS: now}
+	renewed := 0
+	if budget <= 0 || da.nextRID == 0 {
+		return msg, 0, nil
+	}
+	scanned := uint64(0)
+	for renewed < budget && scanned <= da.nextRID {
+		da.renewCursor++
+		if da.renewCursor > da.nextRID {
+			da.renewCursor = 1
+		}
+		scanned++
+		rec, ok := da.byRID[da.renewCursor]
+		if !ok {
+			continue
+		}
+		if now-da.certTS[rec.RID] <= da.cfg.RhoPrime {
+			continue
+		}
+		if err := da.resign(rec.Key, now, &msg.Upserts); err != nil {
+			return nil, renewed, err
+		}
+		renewed++
+	}
+	return msg, renewed, nil
+}
+
+// SummariesSince returns retained summaries published at or after ts
+// (what a server hands a user on log-in).
+func (da *DataAggregator) SummariesSince(ts int64) []freshness.Summary {
+	return da.pub.Since(ts)
+}
+
+// OldestCertTS reports the oldest live signature's certification time,
+// bounding how much summary history users need.
+func (da *DataAggregator) OldestCertTS() int64 {
+	oldest := int64(-1)
+	for _, ts := range da.certTS {
+		if oldest == -1 || ts < oldest {
+			oldest = ts
+		}
+	}
+	return oldest
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"authdb/internal/btree"
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigcache"
+	"authdb/internal/storage"
+)
+
+// Answer is the server's verifiable response to a range selection: the
+// chained answer of §3.3 plus the certified summaries the user needs
+// for freshness checking.
+type Answer struct {
+	Chain     *chain.Answer
+	Summaries []freshness.Summary // summaries published since the oldest result signature
+	// Ops is the number of aggregation operations spent building the
+	// proof (the SigCache cost unit).
+	Ops int
+}
+
+// VOSizeBytes reports the proof overhead shipped with the records.
+func (a *Answer) VOSizeBytes(scheme sigagg.Scheme) int {
+	size := a.Chain.VOSizeBytes(scheme)
+	for i := range a.Summaries {
+		size += a.Summaries[i].SizeBytes(scheme)
+	}
+	return size
+}
+
+// QueryServer is the untrusted server: it stores the records,
+// signatures and summaries pushed by the DataAggregator and constructs
+// proofs for range selections, optionally through a SigCache.
+type QueryServer struct {
+	scheme sigagg.Scheme
+
+	// mu guards the index, record maps and summaries: queries take it
+	// shared, update application exclusive. This is the server-level
+	// concurrency §3.2 argues for — updates touch individual records,
+	// never a global root, so writers block readers only briefly. The
+	// SigCache has its own internal lock (lazy refreshes mutate state
+	// on the query path).
+	mu sync.RWMutex
+
+	index *btree.Tree
+	byRID map[uint64]*Record
+	keyOf map[uint64]int64 // rid -> current key (for upsert replacement)
+
+	summaries []freshness.Summary
+
+	cache       *sigcache.Cache
+	cachePos    map[int64]int64 // frozen key -> leaf position
+	cacheFrozen bool            // structure changed since cache was built
+}
+
+// NewQueryServer creates an empty server for the (bound) scheme.
+func NewQueryServer(scheme sigagg.Scheme) *QueryServer {
+	return &QueryServer{
+		scheme: scheme,
+		index:  btree.New(storage.DefaultPageConfig()),
+		byRID:  make(map[uint64]*Record),
+		keyOf:  make(map[uint64]int64),
+	}
+}
+
+// Len returns the stored record count.
+func (qs *QueryServer) Len() int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return qs.index.Len()
+}
+
+// Apply ingests one dissemination message from the DataAggregator.
+func (qs *QueryServer) Apply(msg *UpdateMsg) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	for _, rid := range msg.Deletes {
+		if key, ok := qs.keyOf[rid]; ok {
+			qs.index.Delete(key)
+			delete(qs.byRID, rid)
+			delete(qs.keyOf, rid)
+			qs.invalidateCacheStructure()
+		}
+	}
+	for _, sr := range msg.Upserts {
+		rec := sr.Rec
+		if oldKey, ok := qs.keyOf[rec.RID]; ok && oldKey != rec.Key {
+			qs.index.Delete(oldKey)
+			qs.invalidateCacheStructure()
+		}
+		if !qs.index.Update(rec.Key, sr.Sig) {
+			if err := qs.index.Insert(btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
+				return fmt.Errorf("core: apply upsert: %w", err)
+			}
+			qs.invalidateCacheStructure()
+		} else if qs.cache != nil && qs.cacheFrozen {
+			if pos, ok := qs.cachePos[rec.Key]; ok {
+				if _, err := qs.cache.UpdateLeaf(pos, sr.Sig); err != nil {
+					return err
+				}
+			}
+		}
+		qs.byRID[rec.RID] = rec
+		qs.keyOf[rec.RID] = rec.Key
+	}
+	if msg.Summary != nil {
+		qs.summaries = append(qs.summaries, *msg.Summary)
+	}
+	return nil
+}
+
+// invalidateCacheStructure disables the SigCache when the key
+// population changes (SigCache positions are frozen over a static
+// population, per §4.1's setting of in-place record modifications).
+func (qs *QueryServer) invalidateCacheStructure() {
+	if qs.cacheFrozen {
+		qs.cache = nil
+		qs.cachePos = nil
+		qs.cacheFrozen = false
+	}
+}
+
+// EnableSigCache builds a SigCache over the current key population
+// (padded conceptually to the next power of two with identity leaves)
+// and pins the nodes chosen by Algorithm 1 for the distribution.
+func (qs *QueryServer) EnableSigCache(dist sigcache.Dist, maxPairs int, strategy sigcache.Strategy) error {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	n := qs.index.Len()
+	if n < 2 {
+		return fmt.Errorf("core: relation too small for SigCache")
+	}
+	pow := 1
+	for pow < n {
+		pow *= 2
+	}
+	leaves := make([]sigagg.Signature, pow)
+	qs.cachePos = make(map[int64]int64, n)
+	identity, err := qs.scheme.Aggregate(nil)
+	if err != nil {
+		return err
+	}
+	pos := int64(0)
+	qs.index.Scan(func(e btree.Entry) bool {
+		leaves[pos] = e.Sig
+		qs.cachePos[e.Key] = pos
+		pos++
+		return true
+	})
+	for i := int(pos); i < pow; i++ {
+		leaves[i] = identity
+	}
+	cache, err := sigcache.NewCache(qs.scheme, leaves, strategy)
+	if err != nil {
+		return err
+	}
+	analyzer, err := sigcache.NewAnalyzer(pow, dist)
+	if err != nil {
+		return err
+	}
+	sel := analyzer.Select(maxPairs)
+	if err := cache.Pin(sel.Nodes); err != nil {
+		return err
+	}
+	qs.cache = cache
+	qs.cacheFrozen = true
+	return nil
+}
+
+// CacheStats exposes the SigCache counters (zero value when disabled).
+func (qs *QueryServer) CacheStats() sigcache.Stats {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	if qs.cache == nil {
+		return sigcache.Stats{}
+	}
+	return qs.cache.Stats()
+}
+
+// Query answers the range selection σ_{lo<=Aind<=hi}, constructing the
+// §3.3 proof and attaching the summaries published since the oldest
+// signature in the answer.
+func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
+	}
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	entries, leftB, rightB := qs.index.RangeWithBoundaries(lo, hi)
+	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
+	ans := &Answer{Chain: ca}
+	oldestTS := int64(-1)
+
+	if len(entries) == 0 {
+		// Anchor on a boundary record (left preferred, else right).
+		var anchorEntry *btree.Entry
+		switch {
+		case leftB != nil:
+			anchorEntry = leftB
+		case rightB != nil:
+			anchorEntry = rightB
+		default:
+			return nil, fmt.Errorf("core: empty relation cannot prove emptiness")
+		}
+		rec := qs.byRID[anchorEntry.RID]
+		ca.Anchor = rec
+		la, ra := chain.MinRef, chain.MaxRef
+		if p, ok := qs.index.Predecessor(rec.Key); ok {
+			la = chain.Ref{Key: p.Key, RID: p.RID}
+		}
+		if s, ok := qs.index.Successor(rec.Key); ok {
+			ra = chain.Ref{Key: s.Key, RID: s.RID}
+		}
+		ca.AnchorLeft, ca.Right = la, ra
+		ca.Agg = sigagg.Signature(anchorEntry.Sig).Clone()
+		oldestTS = rec.TS
+	} else {
+		if leftB != nil {
+			ca.Left = chain.Ref{Key: leftB.Key, RID: leftB.RID}
+		}
+		if rightB != nil {
+			ca.Right = chain.Ref{Key: rightB.Key, RID: rightB.RID}
+		}
+		for _, e := range entries {
+			rec, ok := qs.byRID[e.RID]
+			if !ok {
+				return nil, fmt.Errorf("core: missing record body for rid %d", e.RID)
+			}
+			ca.Records = append(ca.Records, rec)
+			if oldestTS == -1 || rec.TS < oldestTS {
+				oldestTS = rec.TS
+			}
+		}
+		agg, ops, err := qs.aggregate(entries)
+		if err != nil {
+			return nil, err
+		}
+		ca.Agg = agg
+		ans.Ops = ops
+	}
+
+	// Attach every summary published since the oldest result signature.
+	i := sort.Search(len(qs.summaries), func(i int) bool {
+		return qs.summaries[i].TS >= oldestTS
+	})
+	ans.Summaries = qs.summaries[i:]
+	return ans, nil
+}
+
+// aggregate combines the entries' signatures, through the SigCache when
+// the whole run maps onto contiguous frozen positions.
+func (qs *QueryServer) aggregate(entries []btree.Entry) (sigagg.Signature, int, error) {
+	if qs.cache != nil && qs.cacheFrozen {
+		loPos, okLo := qs.cachePos[entries[0].Key]
+		hiPos, okHi := qs.cachePos[entries[len(entries)-1].Key]
+		if okLo && okHi && hiPos-loPos == int64(len(entries)-1) {
+			return qs.cache.AggregateRange(loPos, hiPos)
+		}
+	}
+	sigs := make([]sigagg.Signature, len(entries))
+	for i, e := range entries {
+		sigs[i] = e.Sig
+	}
+	agg, err := qs.scheme.Aggregate(sigs)
+	if err != nil {
+		return nil, 0, err
+	}
+	ops := len(sigs) - 1
+	if ops < 0 {
+		ops = 0
+	}
+	return agg, ops, nil
+}
+
+// SummariesSince returns the stored summaries published at or after ts
+// (served to users at log-in).
+func (qs *QueryServer) SummariesSince(ts int64) []freshness.Summary {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	i := sort.Search(len(qs.summaries), func(i int) bool { return qs.summaries[i].TS >= ts })
+	return qs.summaries[i:]
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+)
+
+// Verifier is the user side: it trusts only the DataAggregator's public
+// key and checks each answer for authenticity, completeness and
+// freshness.
+type Verifier struct {
+	scheme  sigagg.Scheme
+	pub     sigagg.PublicKey
+	cfg     Config
+	checker *freshness.Checker
+}
+
+// NewVerifier creates a verifier for the DA's public key.
+func NewVerifier(scheme sigagg.Scheme, pub sigagg.PublicKey, cfg Config) *Verifier {
+	return &Verifier{
+		scheme:  scheme,
+		pub:     pub,
+		cfg:     cfg,
+		checker: freshness.NewChecker(scheme, pub),
+	}
+}
+
+// IngestSummary validates and stores one certified summary (from log-in
+// history or an answer).
+func (v *Verifier) IngestSummary(s freshness.Summary) error {
+	return v.checker.Add(s)
+}
+
+// SummaryCount reports how many summaries the verifier holds.
+func (v *Verifier) SummaryCount() int { return v.checker.Len() }
+
+// FreshnessReport is the per-record outcome of the freshness check.
+type FreshnessReport struct {
+	// MaxStaleness is the worst-case staleness bound across the answer's
+	// records: ρ normally, 2ρ for records certified in the most recent
+	// closed period (§3.1).
+	MaxStaleness int64
+}
+
+// VerifyAnswer checks the complete answer for the range [lo, hi] at
+// current time now: the aggregate signature and chaining (authenticity
+// + completeness), then every record's freshness against the certified
+// summaries. Summaries attached to the answer are ingested first;
+// duplicates of already-held summaries are skipped.
+func (v *Verifier) VerifyAnswer(ans *Answer, lo, hi int64, now int64) (*FreshnessReport, error) {
+	if ans == nil || ans.Chain == nil {
+		return nil, fmt.Errorf("%w: empty answer", sigagg.ErrVerify)
+	}
+	if ans.Chain.Lo != lo || ans.Chain.Hi != hi {
+		return nil, fmt.Errorf("%w: answer is for range [%d,%d], not [%d,%d]",
+			sigagg.ErrVerify, ans.Chain.Lo, ans.Chain.Hi, lo, hi)
+	}
+	// 1. Authenticity and completeness (§3.3).
+	if err := chain.Verify(v.scheme, v.pub, ans.Chain); err != nil {
+		return nil, err
+	}
+	// 2. Ingest any new summaries (they are individually certified).
+	held := uint64(0)
+	if v.checker.Len() > 0 {
+		if latest, ok := v.checker.Latest(); ok {
+			held = latest.Seq
+		}
+	}
+	for _, s := range ans.Summaries {
+		if s.Seq <= held {
+			continue
+		}
+		if err := v.checker.Add(s); err != nil {
+			return nil, fmt.Errorf("core: summary %d: %w", s.Seq, err)
+		}
+		held = s.Seq
+	}
+	// 3. Freshness per record (§3.1). The anchor of an empty answer is a
+	// disclosed record and is checked too.
+	report := &FreshnessReport{}
+	check := func(rec *Record) error {
+		bound, err := v.checker.CheckFresh(slot(rec.RID), rec.TS, now, v.cfg.Rho)
+		if err != nil {
+			return fmt.Errorf("core: rid %d: %w", rec.RID, err)
+		}
+		if bound > report.MaxStaleness {
+			report.MaxStaleness = bound
+		}
+		return nil
+	}
+	for _, rec := range ans.Chain.Records {
+		if err := check(rec); err != nil {
+			return nil, err
+		}
+	}
+	if ans.Chain.Anchor != nil {
+		if err := check(ans.Chain.Anchor); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,240 @@
+// Package freshness implements the freshness-verification protocol of
+// Section 3.1: every ρ time units the data aggregator publishes a
+// certified, compressed bitmap of the record slots updated during the
+// period. New records and signatures are disseminated immediately,
+// decoupled from the summaries; a user confirms a record's freshness by
+// checking that no summary published after the record's certification
+// period marks its slot.
+//
+// A record certified several times within one period cannot be pinned to
+// its latest version by that period's summary alone; the publisher
+// therefore reports such slots for re-certification in the following
+// period (§3.1, "Multiple Updates to a Record within the Same ρ-Period"),
+// which bounds staleness by 2ρ in that corner case and by ρ otherwise.
+package freshness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"authdb/internal/bitmap"
+	"authdb/internal/digest"
+	"authdb/internal/sigagg"
+)
+
+// ErrStale is returned when a record is proven out of date.
+var ErrStale = errors.New("freshness: record is stale")
+
+// Summary is one certified ρ-period update summary.
+type Summary struct {
+	Seq         uint64 // period number, starting at 1
+	PeriodStart int64  // timestamp of the previous summary
+	TS          int64  // publication (certification) timestamp
+	Compressed  []byte // compressed update bitmap (see package bitmap)
+	Sig         sigagg.Signature
+}
+
+// Digest is the byte string the data aggregator signs.
+func (s *Summary) Digest() digest.Digest {
+	w := digest.NewWriter(32 + len(s.Compressed))
+	w.PutUint64(s.Seq)
+	w.PutInt64(s.PeriodStart)
+	w.PutInt64(s.TS)
+	w.PutBytes(s.Compressed)
+	return w.Sum()
+}
+
+// SizeBytes is the transmitted summary size: compressed bitmap, header
+// fields and signature.
+func (s *Summary) SizeBytes(scheme sigagg.Scheme) int {
+	return len(s.Compressed) + 24 + scheme.SignatureSize()
+}
+
+// Publisher is the data-aggregator side: it accumulates the current
+// period's update bitmap and certifies it on demand.
+type Publisher struct {
+	scheme  sigagg.Scheme
+	priv    sigagg.PrivateKey
+	seq     uint64
+	lastTS  int64
+	cur     *bitmap.Bitmap
+	touched map[int]int // slot -> updates this period
+	history []Summary
+	maxHist int
+}
+
+// NewPublisher creates a publisher for a relation with numSlots record
+// slots; startTS is the protocol epoch. maxHistory bounds the retained
+// summaries (0 = unbounded).
+func NewPublisher(scheme sigagg.Scheme, priv sigagg.PrivateKey, numSlots int, startTS int64, maxHistory int) *Publisher {
+	return &Publisher{
+		scheme:  scheme,
+		priv:    priv,
+		lastTS:  startTS,
+		cur:     bitmap.New(numSlots),
+		touched: make(map[int]int),
+		maxHist: maxHistory,
+	}
+}
+
+// MarkUpdated records that slot was inserted, deleted, modified or
+// re-certified during the current period. Slots beyond the current
+// bitmap length grow it (appended '1'-bits for inserted records).
+func (p *Publisher) MarkUpdated(slot int) {
+	p.cur.Set(slot)
+	p.touched[slot]++
+}
+
+// PendingSlots returns the number of slots marked so far this period.
+func (p *Publisher) PendingSlots() int { return len(p.touched) }
+
+// Publish certifies the current period's bitmap at time ts, resets the
+// period, and returns the summary together with the slots that were
+// updated more than once (which the caller must re-certify during the
+// next period).
+func (p *Publisher) Publish(ts int64) (Summary, []int, error) {
+	if ts <= p.lastTS {
+		return Summary{}, nil, fmt.Errorf("freshness: publish time %d not after previous %d", ts, p.lastTS)
+	}
+	p.seq++
+	s := Summary{
+		Seq:         p.seq,
+		PeriodStart: p.lastTS,
+		TS:          ts,
+		Compressed:  p.cur.Compress(),
+	}
+	d := s.Digest()
+	sig, err := p.scheme.Sign(p.priv, d[:])
+	if err != nil {
+		return Summary{}, nil, fmt.Errorf("freshness: certify summary: %w", err)
+	}
+	s.Sig = sig
+
+	var multi []int
+	for slot, n := range p.touched {
+		if n > 1 {
+			multi = append(multi, slot)
+		}
+	}
+	sort.Ints(multi)
+
+	p.lastTS = ts
+	p.cur = bitmap.New(p.cur.Len())
+	p.touched = make(map[int]int)
+	p.history = append(p.history, s)
+	if p.maxHist > 0 && len(p.history) > p.maxHist {
+		p.history = p.history[len(p.history)-p.maxHist:]
+	}
+	return s, multi, nil
+}
+
+// History returns the retained summaries in publication order.
+func (p *Publisher) History() []Summary { return p.history }
+
+// Since returns the retained summaries published at or after ts.
+func (p *Publisher) Since(ts int64) []Summary {
+	i := sort.Search(len(p.history), func(i int) bool { return p.history[i].TS >= ts })
+	return p.history[i:]
+}
+
+// Checker is the user side: it validates incoming summaries and answers
+// freshness checks against them.
+type Checker struct {
+	scheme sigagg.Scheme
+	pub    sigagg.PublicKey
+	sums   []Summary
+	maps   []*bitmap.Bitmap // decompressed, parallel to sums
+}
+
+// NewChecker creates a checker trusting the data aggregator's public
+// key.
+func NewChecker(scheme sigagg.Scheme, pub sigagg.PublicKey) *Checker {
+	return &Checker{scheme: scheme, pub: pub}
+}
+
+// Add validates and ingests a summary. Summaries must arrive in
+// sequence-contiguous order (the server supplies the back history on
+// log-in, then one summary per period).
+func (c *Checker) Add(s Summary) error {
+	d := s.Digest()
+	if err := c.scheme.Verify(c.pub, d[:], s.Sig); err != nil {
+		return fmt.Errorf("freshness: summary %d signature: %w", s.Seq, err)
+	}
+	if len(c.sums) > 0 {
+		last := c.sums[len(c.sums)-1]
+		if s.Seq != last.Seq+1 {
+			return fmt.Errorf("freshness: summary gap: have seq %d, got %d", last.Seq, s.Seq)
+		}
+		if s.PeriodStart != last.TS {
+			return fmt.Errorf("freshness: summary %d period start %d does not chain to %d",
+				s.Seq, s.PeriodStart, last.TS)
+		}
+	}
+	bm, err := bitmap.Decompress(s.Compressed)
+	if err != nil {
+		return fmt.Errorf("freshness: summary %d bitmap: %w", s.Seq, err)
+	}
+	c.sums = append(c.sums, s)
+	c.maps = append(c.maps, bm)
+	return nil
+}
+
+// Len returns the number of ingested summaries.
+func (c *Checker) Len() int { return len(c.sums) }
+
+// Latest returns the most recent summary.
+func (c *Checker) Latest() (Summary, bool) {
+	if len(c.sums) == 0 {
+		return Summary{}, false
+	}
+	return c.sums[len(c.sums)-1], true
+}
+
+// Trim drops summaries published before ts (once no record signature
+// can be that old, per the ρ' renewal policy).
+func (c *Checker) Trim(ts int64) {
+	i := sort.Search(len(c.sums), func(i int) bool { return c.sums[i].TS >= ts })
+	c.sums = c.sums[i:]
+	c.maps = c.maps[i:]
+}
+
+// CheckFresh verifies the freshness of the record in the given slot,
+// whose signature carries certification time recTS, at current time now
+// with summary period rho. On success it returns the worst-case
+// staleness bound (ρ normally; 2ρ when the record was certified in the
+// most recent closed period, per §3.1). It returns ErrStale when a
+// summary proves a newer version exists, and a generic error when the
+// checker lacks the summaries needed to decide.
+func (c *Checker) CheckFresh(slot int, recTS int64, now int64, rho int64) (int64, error) {
+	latest, ok := c.Latest()
+	if !ok || recTS > latest.TS {
+		// Newer than every summary: fresh by construction, worst case
+		// out of date by now - recTS < ρ.
+		return rho, nil
+	}
+	if recTS < c.sums[0].PeriodStart {
+		return 0, fmt.Errorf("freshness: record certified at %d predates available summaries (from %d)",
+			recTS, c.sums[0].PeriodStart)
+	}
+	// The record is stale iff some summary whose period began strictly
+	// after the record's certification marks the slot: the mark then
+	// refers to a strictly newer version. A mark in the record's own
+	// certification period (recTS >= PeriodStart) is the record itself.
+	for i, s := range c.sums {
+		if s.TS < recTS {
+			continue
+		}
+		if c.maps[i].Get(slot) && recTS < s.PeriodStart {
+			return 0, fmt.Errorf("%w: slot %d re-certified during period ending %d (record signed %d)",
+				ErrStale, slot, s.TS, recTS)
+		}
+	}
+	// Fresh. Records certified in the most recent closed period could
+	// have been superseded within that same period; the re-certification
+	// rule only surfaces that in the next summary, so the bound is 2ρ.
+	if recTS > latest.PeriodStart {
+		return 2 * rho, nil
+	}
+	return rho, nil
+}

@@ -1,0 +1,239 @@
+package freshness
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+)
+
+func newPair(t *testing.T, slots int) (*Publisher, *Checker) {
+	t.Helper()
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPublisher(scheme, priv, slots, 0, 0), NewChecker(scheme, pub)
+}
+
+func feed(t *testing.T, p *Publisher, c *Checker, ts int64) (Summary, []int) {
+	t.Helper()
+	s, multi, err := p.Publish(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	return s, multi
+}
+
+func TestFreshRecordNewerThanSummaries(t *testing.T) {
+	p, c := newPair(t, 100)
+	feed(t, p, c, 10)
+	// Record certified after the latest summary: fresh, bound ρ.
+	bound, err := c.CheckFresh(5, 15, 18, 10)
+	if err != nil || bound != 10 {
+		t.Fatalf("bound=%d err=%v", bound, err)
+	}
+}
+
+func TestFreshRecordNoSummaries(t *testing.T) {
+	_, c := newPair(t, 10)
+	if _, err := c.CheckFresh(0, 5, 6, 10); err != nil {
+		t.Fatalf("no summaries yet: %v", err)
+	}
+}
+
+func TestStaleRecordDetected(t *testing.T) {
+	p, c := newPair(t, 100)
+	// Period 1 (0,10]: record 7 certified at t=5.
+	p.MarkUpdated(7)
+	feed(t, p, c, 10)
+	// Period 2 (10,20]: record 7 updated again at t=15.
+	p.MarkUpdated(7)
+	feed(t, p, c, 20)
+	// A user receiving the t=5 version must detect staleness.
+	_, err := c.CheckFresh(7, 5, 25, 10)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("want ErrStale, got %v", err)
+	}
+	// The t=15 version is fine (2ρ bound: most recent closed period).
+	bound, err := c.CheckFresh(7, 15, 25, 10)
+	if err != nil {
+		t.Fatalf("fresh version flagged: %v", err)
+	}
+	if bound != 20 {
+		t.Fatalf("bound=%d, want 2ρ=20", bound)
+	}
+}
+
+func TestOwnPeriodMarkIsNotStale(t *testing.T) {
+	p, c := newPair(t, 100)
+	// The summary of the record's own certification period marks the
+	// slot; that mark refers to the record itself.
+	p.MarkUpdated(3)
+	feed(t, p, c, 10)
+	if _, err := c.CheckFresh(3, 5, 12, 10); err != nil {
+		t.Fatalf("own-period mark treated as stale: %v", err)
+	}
+}
+
+func TestUntouchedOldRecordIsFresh(t *testing.T) {
+	p, c := newPair(t, 100)
+	feed(t, p, c, 10)
+	for ts := int64(20); ts <= 100; ts += 10 {
+		p.MarkUpdated(int(ts) % 7) // noise on other slots... slot 50 untouched
+		if int(ts)%7 == 50 {
+			t.Fatal("test setup broken")
+		}
+		feed(t, p, c, ts)
+	}
+	bound, err := c.CheckFresh(50, 5, 105, 10)
+	if err != nil {
+		t.Fatalf("untouched record flagged: %v", err)
+	}
+	if bound != 10 {
+		t.Fatalf("bound=%d, want ρ", bound)
+	}
+}
+
+func TestMultiUpdateReported(t *testing.T) {
+	p, c := newPair(t, 100)
+	p.MarkUpdated(4)
+	p.MarkUpdated(4)
+	p.MarkUpdated(9)
+	_, multi := feed(t, p, c, 10)
+	if len(multi) != 1 || multi[0] != 4 {
+		t.Fatalf("multi = %v, want [4]", multi)
+	}
+	// Re-certifying slot 4 in the next period invalidates both earlier
+	// versions.
+	p.MarkUpdated(4)
+	feed(t, p, c, 20)
+	if _, err := c.CheckFresh(4, 3, 25, 10); !errors.Is(err, ErrStale) {
+		t.Fatal("pre-re-cert version must be stale")
+	}
+	if _, err := c.CheckFresh(4, 15, 25, 10); err != nil {
+		t.Fatalf("re-certified version flagged: %v", err)
+	}
+}
+
+func TestSummarySignatureChecked(t *testing.T) {
+	p, c := newPair(t, 10)
+	s, _, err := p.Publish(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TS = 11 // tamper after signing
+	if err := c.Add(s); err == nil {
+		t.Fatal("tampered summary accepted")
+	}
+}
+
+func TestSummaryGapRejected(t *testing.T) {
+	p, c := newPair(t, 10)
+	feed(t, p, c, 10)
+	skipped, _, err := p.Publish(20)
+	_ = skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, _, err := p.Publish(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(s3); err == nil {
+		t.Fatal("summary gap accepted")
+	}
+}
+
+func TestPublishMonotoneTime(t *testing.T) {
+	p, _ := newPair(t, 10)
+	if _, _, err := p.Publish(0); err == nil {
+		t.Fatal("non-monotone publish accepted")
+	}
+}
+
+func TestInsertGrowsBitmap(t *testing.T) {
+	p, c := newPair(t, 10)
+	p.MarkUpdated(25) // inserted record beyond initial slots
+	s, _ := feed(t, p, c, 10)
+	if s.Seq != 1 {
+		t.Fatal("bad seq")
+	}
+	// The new record certified at t=5 in its own period: fresh.
+	if _, err := c.CheckFresh(25, 5, 12, 10); err != nil {
+		t.Fatalf("inserted record flagged: %v", err)
+	}
+}
+
+func TestSummarySizeProportionalToUpdates(t *testing.T) {
+	// §3.1: summary size tracks the update count, not the database size.
+	pSmall, _ := newPair(t, 1000)
+	pBig, _ := newPair(t, 1_000_000)
+	for i := 0; i < 100; i++ {
+		pSmall.MarkUpdated(i * 7)
+		pBig.MarkUpdated(i * 7000)
+	}
+	sSmall, _, _ := pSmall.Publish(10)
+	sBig, _, _ := pBig.Publish(10)
+	if len(sBig.Compressed) > 4*len(sSmall.Compressed) {
+		t.Fatalf("summary grows with DB size: %d vs %d bytes",
+			len(sBig.Compressed), len(sSmall.Compressed))
+	}
+}
+
+func TestRecordPredatingSummariesUndecidable(t *testing.T) {
+	p, c := newPair(t, 10)
+	// History starts at period (100, 110]; drop everything before.
+	pp := p
+	pp.lastTS = 100
+	feed(t, pp, c, 110)
+	if _, err := c.CheckFresh(0, 50, 115, 10); err == nil {
+		t.Fatal("record older than history must be undecidable")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	p, c := newPair(t, 10)
+	for ts := int64(10); ts <= 50; ts += 10 {
+		feed(t, p, c, ts)
+	}
+	c.Trim(30)
+	if c.Len() != 3 {
+		t.Fatalf("Len after Trim = %d, want 3", c.Len())
+	}
+}
+
+func TestPublisherSince(t *testing.T) {
+	p, _ := newPair(t, 10)
+	for ts := int64(10); ts <= 50; ts += 10 {
+		if _, _, err := p.Publish(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	since := p.Since(30)
+	if len(since) != 3 || since[0].TS != 30 {
+		t.Fatalf("Since(30) = %d summaries starting %d", len(since), since[0].TS)
+	}
+}
+
+func TestHistoryBound(t *testing.T) {
+	scheme := bas.New(0)
+	priv, _, _ := scheme.KeyGen(rand.Reader)
+	p := NewPublisher(scheme, priv, 10, 0, 3)
+	for ts := int64(10); ts <= 100; ts += 10 {
+		if _, _, err := p.Publish(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p.History()) != 3 {
+		t.Fatalf("history = %d, want 3", len(p.History()))
+	}
+}
+
+var _ = sigagg.ErrVerify // keep import

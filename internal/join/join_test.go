@@ -1,0 +1,317 @@
+package join
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"authdb/internal/bloom"
+	"authdb/internal/chain"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+)
+
+type fixture struct {
+	scheme sigagg.Scheme
+	priv   sigagg.PrivateKey
+	pub    sigagg.PublicKey
+	s      *Relation
+	fc     *FilterCert
+	sB     []int64 // sorted distinct S.B values
+}
+
+// newFixture builds an S relation whose B values are the even numbers
+// 2..2n (each duplicated dup times), plus a certified partitioned filter.
+func newFixture(t *testing.T, n, dup, valsPerPart int) *fixture {
+	t.Helper()
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*chain.Record
+	rid := uint64(1)
+	var sB []int64
+	for i := 1; i <= n; i++ {
+		v := int64(i * 2)
+		sB = append(sB, v)
+		for d := 0; d < dup; d++ {
+			recs = append(recs, &chain.Record{
+				RID: rid, Key: v, TS: 10,
+				Attrs: [][]byte{[]byte(fmt.Sprintf("s-%d-%d", v, d))},
+			})
+			rid++
+		}
+	}
+	rel, err := BuildRelation(scheme, priv, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := CertifyFilter(scheme, priv, rel, valsPerPart, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{scheme: scheme, priv: priv, pub: pub, s: rel, fc: fc, sB: sB}
+}
+
+func TestBuildVerifyBV(t *testing.T) {
+	f := newFixture(t, 50, 2, 4)
+	// R.A values: 10, 20 match; 11, 21 do not.
+	ans, err := Build(f.scheme, BV, []int64{10, 20, 11, 21}, f.s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Matches) != 2 || len(ans.Unmatched) != 2 {
+		t.Fatalf("matches=%d unmatched=%d", len(ans.Matches), len(ans.Unmatched))
+	}
+	// Each matched value has dup=2 S records.
+	if len(ans.Matches[0].Records) != 2 {
+		t.Fatalf("match returned %d records, want 2", len(ans.Matches[0].Records))
+	}
+	if err := Verify(f.scheme, f.pub, ans); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBuildVerifyBF(t *testing.T) {
+	f := newFixture(t, 200, 1, 4)
+	var ra []int64
+	for v := int64(3); v < 100; v += 2 { // all odd: unmatched
+		ra = append(ra, v)
+	}
+	ra = append(ra, 40, 50, 60) // matched
+	ans, err := Build(f.scheme, BF, ra, f.s, f.fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Matches) != 3 {
+		t.Fatalf("matches=%d", len(ans.Matches))
+	}
+	if err := Verify(f.scheme, f.pub, ans); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBFFalsePositiveFallsBackToBoundary(t *testing.T) {
+	// A tiny filter (1 bit/key) false-positives often; every unmatched
+	// proof must still verify via the boundary fallback.
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*chain.Record
+	for i := 1; i <= 100; i++ {
+		recs = append(recs, &chain.Record{RID: uint64(i), Key: int64(i * 2), TS: 1})
+	}
+	rel, _ := BuildRelation(scheme, priv, recs)
+	fc, err := CertifyFilter(scheme, priv, rel, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ra []int64
+	for v := int64(3); v < 200; v += 2 {
+		ra = append(ra, v)
+	}
+	ans, err := Build(scheme, BF, ra, rel, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	for _, u := range ans.Unmatched {
+		if u.Boundary != nil {
+			fp++
+		}
+	}
+	if fp == 0 {
+		t.Fatal("expected false positives with 1 bit/key")
+	}
+	if err := Verify(scheme, pub, ans); err != nil {
+		t.Fatalf("Verify with fallbacks: %v", err)
+	}
+}
+
+func TestVerifyRejectsFakeNonMatch(t *testing.T) {
+	f := newFixture(t, 50, 1, 4)
+	// 40 IS in S; server claims it unmatched using a forged negative
+	// partition (zeroed filter).
+	ans, err := Build(f.scheme, BF, []int64{41}, f.s, f.fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := &ans.Unmatched[0]
+	up.RA = 40
+	fake := *up.Partition
+	fake.Filter = bloom.New(fake.Filter.M(), fake.Filter.K()) // all-zero bits
+	up.Partition = &fake
+	err = Verify(f.scheme, f.pub, ans)
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("forged partition: want ErrVerify, got %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongPartition(t *testing.T) {
+	f := newFixture(t, 100, 1, 4)
+	ans, err := Build(f.scheme, BF, []int64{11}, f.s, f.fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Present a genuine certified partition that does not cover 11.
+	last := len(f.fc.PF.Partitions) - 1
+	ans.Unmatched[0].Partition = &f.fc.PF.Partitions[last]
+	ans.Unmatched[0].PartSig = f.fc.Sigs[last]
+	if ans.Unmatched[0].Boundary != nil {
+		t.Skip("11 false-positived; test needs a clean negative")
+	}
+	err = Verify(f.scheme, f.pub, ans)
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("wrong partition: want ErrVerify, got %v", err)
+	}
+}
+
+func TestVerifyRejectsDroppedMatchRecord(t *testing.T) {
+	f := newFixture(t, 20, 3, 4)
+	ans, err := Build(f.scheme, BV, []int64{10}, f.s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ans.Matches[0]
+	if len(m.Records) != 3 {
+		t.Fatalf("want 3 duplicates, got %d", len(m.Records))
+	}
+	// Drop the middle duplicate and rebuild the aggregate from the
+	// remaining two signatures.
+	lo, _ := f.s.equalRange(10)
+	m.Records = []*chain.Record{m.Records[0], m.Records[2]}
+	m.Agg, _ = f.scheme.Aggregate([]sigagg.Signature{f.s.Sigs[lo], f.s.Sigs[lo+2]})
+	err = Verify(f.scheme, f.pub, ans)
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("dropped duplicate: want ErrVerify, got %v", err)
+	}
+}
+
+func TestMeasureBVDedup(t *testing.T) {
+	sB := []int64{10, 20, 30, 40}
+	// 21 and 25 share boundaries (20,30): dedup to 2 values.
+	st := MeasureBV([]int64{21, 25}, sB, 4)
+	if st.BoundaryValues != 2 {
+		t.Fatalf("BoundaryValues = %d, want 2", st.BoundaryValues)
+	}
+	if st.TotalBytes() != 8 {
+		t.Fatalf("TotalBytes = %d, want 8", st.TotalBytes())
+	}
+	// 15 adds boundary 10 and shares 20.
+	st = MeasureBV([]int64{21, 25, 15}, sB, 4)
+	if st.BoundaryValues != 3 {
+		t.Fatalf("BoundaryValues = %d, want 3", st.BoundaryValues)
+	}
+}
+
+func TestMeasureBVOutsideDomain(t *testing.T) {
+	sB := []int64{10, 20}
+	st := MeasureBV([]int64{5, 100}, sB, 4)
+	if st.BoundaryValues != 2 {
+		t.Fatalf("BoundaryValues = %d, want 2 (one per edge)", st.BoundaryValues)
+	}
+	st = MeasureBV([]int64{5}, nil, 4)
+	if st.BoundaryValues != 0 {
+		t.Fatal("empty S must need no boundaries")
+	}
+}
+
+func TestMeasureBFCountsProbedPartitionsOnce(t *testing.T) {
+	pf, err := bloom.BuildPartitioned([]int64{10, 20, 30, 40, 50, 60, 70, 80}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := []int64{10, 20, 30, 40, 50, 60, 70, 80}
+	// Two probes into the same partition: filter bytes counted once.
+	st1 := MeasureBF([]int64{21}, pf, sB, 4, 63)
+	st2 := MeasureBF([]int64{21, 25}, pf, sB, 4, 63)
+	if st1.ProbedPartitions != 1 || st2.ProbedPartitions != 1 {
+		t.Fatalf("probed = %d,%d, want 1,1", st1.ProbedPartitions, st2.ProbedPartitions)
+	}
+	if st2.FilterBytes != st1.FilterBytes {
+		t.Fatal("same-partition probes must not double-count filter bytes")
+	}
+}
+
+func TestBFBeatsBVAtLowAlpha(t *testing.T) {
+	// The headline result of Fig. 11(a): with few matches, BV's VO is
+	// near |S| while BF's stays small.
+	rng := mrand.New(mrand.NewSource(1))
+	var sB []int64
+	seen := map[int64]bool{}
+	for len(sB) < 3000 {
+		v := rng.Int63n(1 << 30)
+		if !seen[v] {
+			seen[v] = true
+			sB = append(sB, v)
+		}
+	}
+	sortInt64(sB)
+	pf, err := bloom.BuildPartitioned(sB, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unmatched []int64
+	for len(unmatched) < 2000 {
+		v := rng.Int63n(1 << 30)
+		if !seen[v] {
+			unmatched = append(unmatched, v)
+		}
+	}
+	bv := MeasureBV(unmatched, sB, 63).TotalBytes()
+	bf := MeasureBF(unmatched, pf, sB, 4, 63).TotalBytes()
+	if bf >= bv {
+		t.Fatalf("BF (%dB) must beat BV (%dB) at low alpha", bf, bv)
+	}
+}
+
+func TestFormulaBVShape(t *testing.T) {
+	// Eq. 2 decreases linearly in alpha and caps the ratio at 2.
+	if FormulaBV(0, 100, 1000, 4) != 800 { // min(2, 10)=2 -> 100*2*4
+		t.Fatal("FormulaBV cap broken")
+	}
+	if FormulaBV(0.5, 100, 1000, 4) != 400 {
+		t.Fatal("FormulaBV alpha scaling broken")
+	}
+	if FormulaBV(0, 1000, 500, 4) != 2000 { // ratio 0.5
+		t.Fatal("FormulaBV sub-1 ratio broken")
+	}
+}
+
+func TestFormulaBFShape(t *testing.T) {
+	// Filter term dominates at fp=0; boundary term appears with fp.
+	base := FormulaBF(0.5, 1000, 100, 8*3425, 0, 4)
+	withFP := FormulaBF(0.5, 1000, 100, 8*3425, 0.0216, 4)
+	if withFP <= base {
+		t.Fatal("false positives must add boundary bytes")
+	}
+}
+
+func TestZViability(t *testing.T) {
+	// Paper: IB/p >= 2.83 at IA/IB = 1; IB/p >= 6.29 at IA/IB = 10.
+	if Z(1, 2.83) > ZThreshold+0.01 {
+		t.Fatalf("Z(1, 2.83) = %f, want <= 0.75", Z(1, 2.83))
+	}
+	if Z(1, 2.5) < ZThreshold {
+		t.Fatalf("Z(1, 2.5) = %f, want > 0.75", Z(1, 2.5))
+	}
+	if Z(10, 6.29) > ZThreshold+0.01 {
+		t.Fatalf("Z(10, 6.29) = %f, want <= 0.75", Z(10, 6.29))
+	}
+	if Z(10, 5) < ZThreshold {
+		t.Fatalf("Z(10, 5) = %f, want > 0.75", Z(10, 5))
+	}
+}
+
+func sortInt64(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

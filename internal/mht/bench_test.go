@@ -1,0 +1,60 @@
+package mht
+
+import (
+	"fmt"
+	"testing"
+
+	"authdb/internal/digest"
+)
+
+func benchLeaves(n int) []digest.Digest {
+	ls := make([]digest.Digest, n)
+	for i := range ls {
+		ls[i] = digest.Sum([]byte(fmt.Sprintf("bench-%d", i)))
+	}
+	return ls
+}
+
+func BenchmarkRoot146(b *testing.B) {
+	// One EMB-tree node: a binary MHT over 146 children.
+	ls := benchLeaves(146)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Root(ls)
+	}
+}
+
+func BenchmarkProveRange(b *testing.B) {
+	ls := benchLeaves(146)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProveRange(ls, 40, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyRange(b *testing.B) {
+	ls := benchLeaves(146)
+	proof, err := ProveRange(ls, 40, 90)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := ls[40:91]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyRange(146, 40, 90, window, proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProveSingleLeaf(b *testing.B) {
+	ls := benchLeaves(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prove(ls, i%1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

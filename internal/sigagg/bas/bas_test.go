@@ -1,0 +1,139 @@
+package bas
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"authdb/internal/digest"
+	"authdb/internal/sigagg"
+)
+
+func TestHashToCurvePointsOnCurve(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 50; i++ {
+		d := digest.Sum([]byte{byte(i), byte(i >> 4)})
+		x, y := s.hashToCurve(d[:])
+		if !s.curve.IsOnCurve(x, y) {
+			t.Fatalf("hashToCurve output %d not on P-256", i)
+		}
+	}
+}
+
+func TestHashToCurveDeterministic(t *testing.T) {
+	s := New(0)
+	d := digest.Sum([]byte("m"))
+	x1, y1 := s.hashToCurve(d[:])
+	x2, y2 := s.hashToCurve(d[:])
+	if x1.Cmp(x2) != 0 || y1.Cmp(y2) != 0 {
+		t.Fatal("hashToCurve not deterministic")
+	}
+}
+
+func TestIdentityEncoding(t *testing.T) {
+	s := New(0)
+	id := s.identity()
+	if !s.isIdentity(id) {
+		t.Fatal("identity not recognized")
+	}
+	x, y, err := s.decode(id)
+	if err != nil || x != nil || y != nil {
+		t.Fatalf("identity decode: %v %v %v", x, y, err)
+	}
+}
+
+func TestRemoveToIdentity(t *testing.T) {
+	s := New(0)
+	priv, _, err := s.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digest.Sum([]byte("x"))
+	sig, _ := s.Sign(priv, d[:])
+	empty, err := s.Remove(sig, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.isIdentity(empty) {
+		t.Fatalf("sig - sig != identity: %x", empty)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	s := New(0)
+	if _, _, err := s.decode(make(sigagg.Signature, 5)); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	bad := make(sigagg.Signature, s.SignatureSize())
+	bad[0] = 0x02
+	bad[5] = 0xFF // almost surely not a valid x-coordinate pairing
+	if _, _, err := s.decode(bad); err == nil {
+		// A random x may decode; flip the tag to an invalid value.
+		bad[0] = 0x07
+		if _, _, err := s.decode(bad); err == nil {
+			t.Fatal("invalid point encoding accepted")
+		}
+	}
+}
+
+func TestPairingCostSlowsVerification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	fast := New(0)
+	slow := New(DefaultPairingCost)
+	priv, pub, err := slow.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := digest.Sum([]byte("m"))
+	sig, _ := slow.Sign(priv, d[:])
+
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := fast.Verify(pub, d[:], sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fastDur := time.Since(start)
+	start = time.Now()
+	for i := 0; i < 5; i++ {
+		if err := slow.Verify(pub, d[:], sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slowDur := time.Since(start)
+	if slowDur < 2*fastDur {
+		t.Fatalf("pairing cost model ineffective: fast=%v slow=%v", fastDur, slowDur)
+	}
+}
+
+func TestKeyGenRejectsBrokenRand(t *testing.T) {
+	s := New(0)
+	if _, _, err := s.KeyGen(brokenReader{}); err == nil {
+		t.Fatal("broken rand accepted")
+	}
+}
+
+type brokenReader struct{}
+
+func (brokenReader) Read([]byte) (int, error) { return 0, errBroken }
+
+var errBroken = errorString("broken")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestPublicPointMatchesTrapdoor(t *testing.T) {
+	s := New(0)
+	priv, pubI, _ := s.KeyGen(rand.Reader)
+	pub := pubI.(*PublicKey)
+	px, py := s.curve.ScalarBaseMult(priv.(*PrivateKey).x.Bytes())
+	if px.Cmp(pub.X) != 0 || py.Cmp(pub.Y) != 0 {
+		t.Fatal("public point is not x·G")
+	}
+	if pub.Trapdoor.Cmp(priv.(*PrivateKey).x) != 0 {
+		t.Fatal("trapdoor must equal the secret scalar (documented simulation)")
+	}
+}

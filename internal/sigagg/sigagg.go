@@ -1,0 +1,137 @@
+// Package sigagg defines the aggregate-signature abstraction the
+// authentication protocol is built on, and a registry of implementations.
+//
+// An aggregate signature scheme lets any set of message/signature pairs be
+// condensed, in arbitrary order, into a single signature that is verified
+// collectively (Boneh et al.). The paper evaluates two instantiations —
+// Bilinear Aggregate Signatures (BAS, 160-bit) and condensed RSA
+// (1024-bit) — which packages sigagg/bas and sigagg/crsa provide.
+package sigagg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Signature is an opaque scheme-specific signature or aggregate.
+type Signature []byte
+
+// Clone returns a copy of the signature.
+func (s Signature) Clone() Signature {
+	c := make(Signature, len(s))
+	copy(c, s)
+	return c
+}
+
+// PrivateKey is an opaque scheme-specific signing key.
+type PrivateKey interface {
+	// SchemeName reports the scheme this key belongs to.
+	SchemeName() string
+}
+
+// PublicKey is an opaque scheme-specific verification key.
+type PublicKey interface {
+	// SchemeName reports the scheme this key belongs to.
+	SchemeName() string
+}
+
+// Scheme is an aggregate signature scheme. Implementations must be safe
+// for concurrent use.
+type Scheme interface {
+	// Name is a short identifier, e.g. "bas" or "crsa".
+	Name() string
+
+	// SignatureSize is the length in bytes of a (possibly aggregate)
+	// signature.
+	SignatureSize() int
+
+	// KeyGen generates a key pair using entropy from rand.
+	KeyGen(rand io.Reader) (PrivateKey, PublicKey, error)
+
+	// Sign produces a signature over a message digest.
+	Sign(priv PrivateKey, digest []byte) (Signature, error)
+
+	// Verify checks a single signature over digest.
+	Verify(pub PublicKey, digest []byte, sig Signature) error
+
+	// Aggregate condenses any number of signatures into one. An empty
+	// input yields the scheme's identity aggregate.
+	Aggregate(sigs []Signature) (Signature, error)
+
+	// Add folds one more signature (or aggregate) into agg.
+	Add(agg, sig Signature) (Signature, error)
+
+	// Remove cancels sig out of agg, so that
+	// Remove(Add(a, s), s) == a. Used by SigCache eager maintenance.
+	Remove(agg, sig Signature) (Signature, error)
+
+	// AggregateVerify checks that agg is the aggregate of valid
+	// signatures over exactly the given digests (in any order).
+	AggregateVerify(pub PublicKey, digests [][]byte, agg Signature) error
+}
+
+// Binder is implemented by schemes whose aggregation operations need the
+// signer's public parameters (e.g. the RSA modulus for condensed RSA).
+type Binder interface {
+	// Bind returns a Scheme whose Aggregate/Add/Remove operate under
+	// pub's parameters.
+	Bind(pub PublicKey) (Scheme, error)
+}
+
+// Bind returns a fully-usable scheme for the signer pub: s.Bind(pub) when
+// s needs binding, s itself otherwise.
+func Bind(s Scheme, pub PublicKey) (Scheme, error) {
+	if b, ok := s.(Binder); ok {
+		return b.Bind(pub)
+	}
+	return s, nil
+}
+
+// ErrVerify is returned (possibly wrapped) when signature verification
+// fails.
+var ErrVerify = errors.New("sigagg: signature verification failed")
+
+// ErrBadSignature is returned when a signature is malformed.
+var ErrBadSignature = errors.New("sigagg: malformed signature")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scheme{}
+)
+
+// Register makes a scheme available by name. It panics on duplicates, as
+// registration happens at init time.
+func Register(s Scheme) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		panic(fmt.Sprintf("sigagg: duplicate scheme %q", s.Name()))
+	}
+	registry[s.Name()] = s
+}
+
+// Lookup returns the scheme registered under name.
+func Lookup(name string) (Scheme, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sigagg: unknown scheme %q", name)
+	}
+	return s, nil
+}
+
+// Names lists the registered scheme names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,352 @@
+package sigcache
+
+import (
+	"fmt"
+	"sync"
+
+	"authdb/internal/sigagg"
+)
+
+// Strategy selects how cached aggregates are maintained under updates
+// (§4.3).
+type Strategy int
+
+const (
+	// Eager refreshes every affected cached aggregate inside the update,
+	// by adding the inverse of the old leaf signature and the new one.
+	Eager Strategy = iota
+	// Lazy invalidates affected aggregates and refreshes them on first
+	// use, coalescing repeated updates to the same leaf.
+	Lazy
+)
+
+func (s Strategy) String() string {
+	if s == Lazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// Stats counts the cache's work in aggregation-equivalent operations
+// (each Add/Remove/combine is one ECC-addition-cost operation, the unit
+// of §4.1's savings model).
+type Stats struct {
+	QueryOps   uint64 // ops spent building query aggregates
+	RefreshOps uint64 // ops spent refreshing cached aggregates
+	PinOps     uint64 // ops spent materializing pinned aggregates
+	Hits       uint64 // cached aggregates used by queries
+	Queries    uint64
+	Updates    uint64
+}
+
+type delta struct {
+	old, new sigagg.Signature
+}
+
+type entry struct {
+	node     Node
+	sig      sigagg.Signature
+	pending  map[int64]delta // leaf index -> coalesced delta (lazy)
+	accesses uint64
+}
+
+// Cache holds the leaf signatures of a relation (in indexed-attribute
+// position order) plus a set of pinned aggregate signatures, and builds
+// range aggregates using the cheapest available cover.
+type Cache struct {
+	mu         sync.Mutex // serializes all operations: lazy refreshes mutate on the query path
+	scheme     sigagg.Scheme
+	n          int64
+	levels     int
+	leaves     []sigagg.Signature
+	entries    map[Node]*entry
+	strategy   Strategy
+	stats      Stats
+	admitLevel int // >0: auto-admit computed blocks at this level or above (§4.2)
+}
+
+// NewCache creates a cache over the given leaf signatures (length a
+// power of two).
+func NewCache(scheme sigagg.Scheme, leaves []sigagg.Signature, strategy Strategy) (*Cache, error) {
+	n := int64(len(leaves))
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("sigcache: leaf count must be a power of two >= 2, got %d", n)
+	}
+	levels := 0
+	for v := n; v > 1; v >>= 1 {
+		levels++
+	}
+	own := make([]sigagg.Signature, n)
+	copy(own, leaves)
+	return &Cache{
+		scheme:   scheme,
+		n:        n,
+		levels:   levels,
+		leaves:   own,
+		entries:  map[Node]*entry{},
+		strategy: strategy,
+	}, nil
+}
+
+// N returns the number of leaves.
+func (c *Cache) N() int64 { return c.n }
+
+// Stats returns a snapshot of the accumulated counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}
+
+// CachedBytes reports the memory held by pinned aggregates.
+func (c *Cache) CachedBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries) * c.scheme.SignatureSize()
+}
+
+// Len returns the number of pinned aggregates.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Pin materializes and pins the aggregate signatures for the given
+// nodes (typically an Analyzer.Select result). Nodes are computed using
+// previously pinned descendants where possible, so pin order matters
+// only for the one-off materialization cost.
+func (c *Cache) Pin(nodes []Node) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range nodes {
+		if n.Level < 1 || n.Level > c.levels || n.Pos < 0 || n.Pos >= c.n>>n.Level {
+			return fmt.Errorf("sigcache: node %v out of range", n)
+		}
+		if _, ok := c.entries[n]; ok {
+			continue
+		}
+		lo, hi := n.Span()
+		sig, ops, err := c.cover(Node{Level: c.levels, Pos: 0}, lo, hi, false)
+		if err != nil {
+			return err
+		}
+		c.stats.PinOps += uint64(ops)
+		c.entries[n] = &entry{node: n, sig: sig, pending: map[int64]delta{}}
+	}
+	return nil
+}
+
+// Unpin drops a pinned aggregate.
+func (c *Cache) Unpin(n Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, n)
+}
+
+// AggregateRange builds the aggregate signature over leaves [lo, hi]
+// (inclusive), using pinned aggregates where they help. It returns the
+// signature and the number of aggregation operations spent (the §4
+// cost unit).
+func (c *Cache) AggregateRange(lo, hi int64) (sigagg.Signature, int, error) {
+	if lo < 0 || hi >= c.n || lo > hi {
+		return nil, 0, fmt.Errorf("sigcache: bad range [%d,%d] over %d leaves", lo, hi, c.n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Queries++
+	sig, ops, err := c.cover(Node{Level: c.levels, Pos: 0}, lo, hi, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.stats.QueryOps += uint64(ops)
+	return sig, ops, nil
+}
+
+// cover recursively builds the aggregate of node ∩ [lo, hi]. When
+// countHit is set, cache usage statistics are recorded.
+func (c *Cache) cover(node Node, lo, hi int64, countHit bool) (sigagg.Signature, int, error) {
+	nlo, nhi := node.Span()
+	if nhi < lo || nlo > hi {
+		return nil, 0, nil
+	}
+	if lo <= nlo && nhi <= hi {
+		// Fully covered: use the pinned aggregate if present.
+		if e, ok := c.entries[node]; ok {
+			refreshOps, err := c.refresh(e)
+			if err != nil {
+				return nil, 0, err
+			}
+			if countHit {
+				c.stats.Hits++
+				e.accesses++
+			}
+			return e.sig, refreshOps, nil
+		}
+		if node.Level == 0 {
+			return c.leaves[nlo], 0, nil
+		}
+	}
+	if node.Level == 0 {
+		return c.leaves[nlo], 0, nil
+	}
+	left := Node{Level: node.Level - 1, Pos: node.Pos * 2}
+	right := Node{Level: node.Level - 1, Pos: node.Pos*2 + 1}
+	lsig, lops, err := c.cover(left, lo, hi, countHit)
+	if err != nil {
+		return nil, 0, err
+	}
+	rsig, rops, err := c.cover(right, lo, hi, countHit)
+	if err != nil {
+		return nil, 0, err
+	}
+	ops := lops + rops
+	switch {
+	case lsig == nil:
+		return rsig, ops, nil
+	case rsig == nil:
+		return lsig, ops, nil
+	default:
+		sum, err := c.scheme.Add(lsig, rsig)
+		if err != nil {
+			return nil, 0, err
+		}
+		ops++
+		// Adaptive admission (§4.2): keep block aggregates computed on
+		// the query path so later queries reuse them.
+		if countHit && c.admitLevel > 0 && node.Level >= c.admitLevel &&
+			lo <= nlo && nhi <= hi {
+			if _, cached := c.entries[node]; !cached {
+				c.entries[node] = &entry{node: node, sig: sum, pending: map[int64]delta{}}
+			}
+		}
+		return sum, ops, nil
+	}
+}
+
+// refresh applies any pending lazy deltas to a cached entry, returning
+// the operations spent.
+func (c *Cache) refresh(e *entry) (int, error) {
+	if len(e.pending) == 0 {
+		return 0, nil
+	}
+	ops := 0
+	for _, d := range e.pending {
+		var err error
+		e.sig, err = c.scheme.Remove(e.sig, d.old)
+		if err != nil {
+			return ops, err
+		}
+		e.sig, err = c.scheme.Add(e.sig, d.new)
+		if err != nil {
+			return ops, err
+		}
+		ops += 2
+	}
+	e.pending = map[int64]delta{}
+	c.stats.RefreshOps += uint64(ops)
+	return ops, nil
+}
+
+// UpdateLeaf installs a new signature for leaf idx and maintains the
+// affected cached aggregates per the configured strategy. It returns
+// the aggregation operations spent inside the update (zero under Lazy).
+func (c *Cache) UpdateLeaf(idx int64, sig sigagg.Signature) (int, error) {
+	if idx < 0 || idx >= c.n {
+		return 0, fmt.Errorf("sigcache: leaf %d out of range", idx)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Updates++
+	old := c.leaves[idx]
+	c.leaves[idx] = sig
+	ops := 0
+	for l, pos := 1, idx>>1; l <= c.levels; l, pos = l+1, pos>>1 {
+		e, ok := c.entries[Node{Level: l, Pos: pos}]
+		if !ok {
+			continue
+		}
+		if c.strategy == Eager {
+			// Apply any older pending deltas first (strategy switches).
+			if _, err := c.refresh(e); err != nil {
+				return ops, err
+			}
+			var err error
+			e.sig, err = c.scheme.Remove(e.sig, old)
+			if err != nil {
+				return ops, err
+			}
+			e.sig, err = c.scheme.Add(e.sig, sig)
+			if err != nil {
+				return ops, err
+			}
+			ops += 2
+		} else {
+			// Coalesce: repeated updates to one leaf cost a single
+			// remove/add pair at refresh time.
+			if d, ok := e.pending[idx]; ok {
+				e.pending[idx] = delta{old: d.old, new: sig}
+			} else {
+				e.pending[idx] = delta{old: old, new: sig}
+			}
+		}
+	}
+	c.stats.RefreshOps += uint64(ops)
+	return ops, nil
+}
+
+// Leaf returns the current signature of leaf idx.
+func (c *Cache) Leaf(idx int64) sigagg.Signature {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaves[idx]
+}
+
+// AccessCounts returns the per-node access counters, for the adaptive
+// revision of §4.2.
+func (c *Cache) AccessCounts() map[Node]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Node]uint64, len(c.entries))
+	for n, e := range c.entries {
+		out[n] = e.accesses
+	}
+	return out
+}
+
+// Revise drops the pinned aggregates whose access counts fall below
+// minAccesses, keeping at most maxNodes of the most-accessed ones —
+// the periodic cache revision of §4.2 restricted to the cached set.
+func (c *Cache) Revise(minAccesses uint64, maxNodes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type na struct {
+		n Node
+		a uint64
+	}
+	var all []na
+	for n, e := range c.entries {
+		all = append(all, na{n, e.accesses})
+	}
+	// Selection by access count, descending.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].a > all[j-1].a; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for i, x := range all {
+		if x.a < minAccesses || (maxNodes > 0 && i >= maxNodes) {
+			delete(c.entries, x.n)
+		}
+	}
+	for _, e := range c.entries {
+		e.accesses = 0
+	}
+}

@@ -1,0 +1,194 @@
+// Package storage models the disk layer of the paper's experiment setup:
+// 4-Kbyte pages (the NTFS default in §5.1), a buffer pool with LRU
+// eviction and physical-I/O accounting, and the page-capacity arithmetic
+// of Section 3.2 that determines index fanouts and tree heights (Table 1).
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+)
+
+// PageID identifies a disk page.
+type PageID uint64
+
+// PageConfig captures the field sizes of §3.2 used for capacity
+// calculations.
+type PageConfig struct {
+	PageSize    int     // bytes per disk page (4096)
+	KeySize     int     // search key (4)
+	SigSize     int     // ECC signature (20)
+	RIDSize     int     // record identifier (4)
+	PtrSize     int     // child pointer (4)
+	DigestSize  int     // hash digest (20)
+	Utilization float64 // average node utilization (2/3)
+}
+
+// DefaultPageConfig returns the paper's defaults.
+func DefaultPageConfig() PageConfig {
+	return PageConfig{
+		PageSize:    4096,
+		KeySize:     4,
+		SigSize:     20,
+		RIDSize:     4,
+		PtrSize:     4,
+		DigestSize:  20,
+		Utilization: 2.0 / 3.0,
+	}
+}
+
+// LeafCapacityASign is the max ⟨key, sn, rid⟩ entries per leaf page of
+// the signature-aggregation index: PageSize/(Key+Sig+RID) = 146.
+func (c PageConfig) LeafCapacityASign() int {
+	return c.PageSize / (c.KeySize + c.SigSize + c.RIDSize)
+}
+
+// InternalFanoutASign is the max children of an internal node of the
+// signature-aggregation index: PageSize/(Key+Ptr) = 512.
+func (c PageConfig) InternalFanoutASign() int {
+	return c.PageSize / (c.KeySize + c.PtrSize)
+}
+
+// LeafCapacityEMB is the max ⟨key, digest, rid⟩ entries per EMB-tree
+// leaf; digests and ECC signatures have equal size, so this equals
+// LeafCapacityASign.
+func (c PageConfig) LeafCapacityEMB() int {
+	return c.PageSize / (c.KeySize + c.DigestSize + c.RIDSize)
+}
+
+// InternalFanoutEMB is the max children of an EMB-tree internal node,
+// which additionally stores one digest per child:
+// PageSize/(Key+Ptr+Digest) = 146, i.e. an effective fanout of 97 at 2/3
+// utilization.
+func (c PageConfig) InternalFanoutEMB() int {
+	return c.PageSize / (c.KeySize + c.PtrSize + c.DigestSize)
+}
+
+// TreeHeight evaluates the analytic height formula of §3.2: the number
+// of internal levels of a B+-tree over n records with the given leaf
+// capacity and max internal fanout, at the configured utilization:
+// ceil(log_{fanout·u}( ceil(n / (leafCap·u)) )).
+func (c PageConfig) TreeHeight(n int64, leafCap, fanout int) int {
+	if n <= 0 {
+		return 0
+	}
+	effLeaf := float64(leafCap) * c.Utilization
+	effFan := float64(fanout) * c.Utilization
+	leaves := math.Ceil(float64(n) / effLeaf)
+	if leaves <= 1 {
+		return 0
+	}
+	h := math.Ceil(math.Log(leaves) / math.Log(effFan))
+	return int(h)
+}
+
+// HeightASign is the Table 1 "ASign" row.
+func (c PageConfig) HeightASign(n int64) int {
+	return c.TreeHeight(n, c.LeafCapacityASign(), c.InternalFanoutASign())
+}
+
+// HeightEMB is the Table 1 "EMB-tree" row.
+func (c PageConfig) HeightEMB(n int64) int {
+	return c.TreeHeight(n, c.LeafCapacityEMB(), c.InternalFanoutEMB())
+}
+
+// Stats counts buffer-pool activity.
+type Stats struct {
+	LogicalReads   uint64 // page touches
+	PhysicalReads  uint64 // misses that fetch from "disk"
+	PhysicalWrites uint64 // dirty evictions and flushes
+	Evictions      uint64
+}
+
+// BufferPool is an LRU page cache with I/O accounting. The pool holds no
+// page contents — data structures keep their own state in memory — it
+// models which pages would be resident and charges physical I/Os for the
+// rest.
+type BufferPool struct {
+	capacity int
+	lru      *list.List // front = most recent; values are PageID
+	pages    map[PageID]*poolEntry
+	stats    Stats
+}
+
+type poolEntry struct {
+	elem  *list.Element
+	dirty bool
+}
+
+// NewBufferPool creates a pool holding capacity pages. capacity <= 0
+// means unbounded (everything is resident after first touch).
+func NewBufferPool(capacity int) *BufferPool {
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*poolEntry),
+	}
+}
+
+// Touch records an access to page id; dirty marks the page modified.
+// A miss counts as a physical read and may evict the LRU page (counting
+// a physical write if it was dirty).
+func (bp *BufferPool) Touch(id PageID, dirty bool) {
+	bp.stats.LogicalReads++
+	if e, ok := bp.pages[id]; ok {
+		bp.lru.MoveToFront(e.elem)
+		e.dirty = e.dirty || dirty
+		return
+	}
+	bp.stats.PhysicalReads++
+	if bp.capacity > 0 {
+		for len(bp.pages) >= bp.capacity {
+			bp.evictLRU()
+		}
+	}
+	elem := bp.lru.PushFront(id)
+	bp.pages[id] = &poolEntry{elem: elem, dirty: dirty}
+}
+
+func (bp *BufferPool) evictLRU() {
+	back := bp.lru.Back()
+	if back == nil {
+		return
+	}
+	id := back.Value.(PageID)
+	e := bp.pages[id]
+	if e.dirty {
+		bp.stats.PhysicalWrites++
+	}
+	bp.lru.Remove(back)
+	delete(bp.pages, id)
+	bp.stats.Evictions++
+}
+
+// FlushAll writes back every dirty page.
+func (bp *BufferPool) FlushAll() {
+	for _, e := range bp.pages {
+		if e.dirty {
+			bp.stats.PhysicalWrites++
+			e.dirty = false
+		}
+	}
+}
+
+// Resident reports whether page id is cached.
+func (bp *BufferPool) Resident(id PageID) bool {
+	_, ok := bp.pages[id]
+	return ok
+}
+
+// Len returns the number of resident pages.
+func (bp *BufferPool) Len() int { return len(bp.pages) }
+
+// Stats returns a snapshot of the accumulated counters.
+func (bp *BufferPool) Stats() Stats { return bp.stats }
+
+// ResetStats zeroes the counters (the cache contents are kept).
+func (bp *BufferPool) ResetStats() { bp.stats = Stats{} }
+
+// String summarizes the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("logical=%d physReads=%d physWrites=%d evictions=%d",
+		s.LogicalReads, s.PhysicalReads, s.PhysicalWrites, s.Evictions)
+}

@@ -1,0 +1,125 @@
+package storage
+
+import "testing"
+
+func TestCapacitiesMatchPaper(t *testing.T) {
+	c := DefaultPageConfig()
+	if got := c.LeafCapacityASign(); got != 146 {
+		t.Errorf("ASign leaf capacity = %d, want 146", got)
+	}
+	if got := c.InternalFanoutASign(); got != 512 {
+		t.Errorf("ASign fanout = %d, want 512", got)
+	}
+	if got := c.LeafCapacityEMB(); got != 146 {
+		t.Errorf("EMB leaf capacity = %d, want 146", got)
+	}
+	if got := c.InternalFanoutEMB(); got != 146 {
+		t.Errorf("EMB fanout = %d, want 146 (97 effective)", got)
+	}
+}
+
+func TestTreeHeightEdgeCases(t *testing.T) {
+	c := DefaultPageConfig()
+	if c.HeightASign(0) != 0 || c.HeightASign(-5) != 0 {
+		t.Error("empty relation must have height 0")
+	}
+	if c.HeightASign(50) != 0 {
+		t.Error("single-leaf relation must have height 0")
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Touch(1, false)
+	bp.Touch(1, false)
+	s := bp.Stats()
+	if s.LogicalReads != 2 || s.PhysicalReads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !bp.Resident(1) {
+		t.Fatal("page 1 must be resident")
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Touch(1, false)
+	bp.Touch(2, false)
+	bp.Touch(1, false) // 1 now MRU
+	bp.Touch(3, false) // evicts 2
+	if bp.Resident(2) {
+		t.Fatal("page 2 should be evicted")
+	}
+	if !bp.Resident(1) || !bp.Resident(3) {
+		t.Fatal("pages 1 and 3 should be resident")
+	}
+	if bp.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", bp.Stats().Evictions)
+	}
+}
+
+func TestBufferPoolDirtyWriteback(t *testing.T) {
+	bp := NewBufferPool(1)
+	bp.Touch(1, true)
+	bp.Touch(2, false) // evicts dirty 1 -> physical write
+	if bp.Stats().PhysicalWrites != 1 {
+		t.Fatalf("writes = %d", bp.Stats().PhysicalWrites)
+	}
+	bp.Touch(3, false) // evicts clean 2 -> no write
+	if bp.Stats().PhysicalWrites != 1 {
+		t.Fatalf("writes = %d after clean eviction", bp.Stats().PhysicalWrites)
+	}
+}
+
+func TestBufferPoolFlushAll(t *testing.T) {
+	bp := NewBufferPool(4)
+	bp.Touch(1, true)
+	bp.Touch(2, true)
+	bp.Touch(3, false)
+	bp.FlushAll()
+	if bp.Stats().PhysicalWrites != 2 {
+		t.Fatalf("flush wrote %d pages, want 2", bp.Stats().PhysicalWrites)
+	}
+	bp.FlushAll() // now clean
+	if bp.Stats().PhysicalWrites != 2 {
+		t.Fatal("double flush must be a no-op")
+	}
+}
+
+func TestBufferPoolUnbounded(t *testing.T) {
+	bp := NewBufferPool(0)
+	for i := PageID(0); i < 1000; i++ {
+		bp.Touch(i, false)
+	}
+	if bp.Len() != 1000 || bp.Stats().Evictions != 0 {
+		t.Fatal("unbounded pool must not evict")
+	}
+}
+
+func TestBufferPoolDirtyStaysDirtyAcrossTouch(t *testing.T) {
+	bp := NewBufferPool(1)
+	bp.Touch(1, true)
+	bp.Touch(1, false) // read touch must not clear dirty
+	bp.Touch(2, false) // evict 1
+	if bp.Stats().PhysicalWrites != 1 {
+		t.Fatal("dirty bit lost on read touch")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	bp := NewBufferPool(2)
+	bp.Touch(1, false)
+	bp.ResetStats()
+	if bp.Stats().LogicalReads != 0 {
+		t.Fatal("ResetStats failed")
+	}
+	if !bp.Resident(1) {
+		t.Fatal("ResetStats must keep contents")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if NewBufferPool(1).Stats().String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}

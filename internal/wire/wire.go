@@ -1,0 +1,401 @@
+// Package wire provides the binary encoding of the protocol messages
+// that cross trust boundaries: the DataAggregator's dissemination
+// messages (DA → query server), and the server's answers (server →
+// user). The format is deliberately simple — a version byte, then
+// length-prefixed fields in fixed order — so a verifier implementation
+// in any language can parse it, and so corrupted or truncated inputs
+// fail loudly before any cryptographic check.
+//
+// Encoding never allocates surprises into the decoded structures:
+// decoded byte slices are copies, so a received buffer can be reused.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"authdb/internal/chain"
+	"authdb/internal/core"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+)
+
+// Version is the wire-format version byte.
+const Version = 1
+
+// ErrCorrupt is returned (wrapped) for any malformed input.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// maxLen bounds any single length prefix, guarding against allocation
+// bombs from hostile servers.
+const maxLen = 1 << 28
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte)    { w.buf = append(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) bytes(p []byte) {
+	w.u64(uint64(len(p)))
+	w.buf = append(w.buf, p...)
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off+1 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated byte", ErrCorrupt)
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated integer", ErrCorrupt)
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, n)
+	}
+	if r.off+int(n) > len(r.buf) {
+		return nil, fmt.Errorf("%w: truncated field (%d bytes)", ErrCorrupt, n)
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// ---- records ----
+
+func putRecord(w *writer, rec *chain.Record) {
+	w.u64(rec.RID)
+	w.i64(rec.Key)
+	w.i64(rec.TS)
+	w.u64(uint64(len(rec.Attrs)))
+	for _, a := range rec.Attrs {
+		w.bytes(a)
+	}
+}
+
+func getRecord(r *reader) (*chain.Record, error) {
+	rec := &chain.Record{}
+	var err error
+	if rec.RID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if rec.Key, err = r.i64(); err != nil {
+		return nil, err
+	}
+	if rec.TS, err = r.i64(); err != nil {
+		return nil, err
+	}
+	nAttrs, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nAttrs > maxLen {
+		return nil, fmt.Errorf("%w: attr count %d", ErrCorrupt, nAttrs)
+	}
+	for i := uint64(0); i < nAttrs; i++ {
+		a, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		rec.Attrs = append(rec.Attrs, a)
+	}
+	return rec, nil
+}
+
+func putRef(w *writer, ref chain.Ref) {
+	w.i64(ref.Key)
+	w.u64(ref.RID)
+}
+
+func getRef(r *reader) (chain.Ref, error) {
+	key, err := r.i64()
+	if err != nil {
+		return chain.Ref{}, err
+	}
+	rid, err := r.u64()
+	if err != nil {
+		return chain.Ref{}, err
+	}
+	return chain.Ref{Key: key, RID: rid}, nil
+}
+
+// ---- summaries ----
+
+func putSummary(w *writer, s *freshness.Summary) {
+	w.u64(s.Seq)
+	w.i64(s.PeriodStart)
+	w.i64(s.TS)
+	w.bytes(s.Compressed)
+	w.bytes(s.Sig)
+}
+
+func getSummary(r *reader) (freshness.Summary, error) {
+	var s freshness.Summary
+	var err error
+	if s.Seq, err = r.u64(); err != nil {
+		return s, err
+	}
+	if s.PeriodStart, err = r.i64(); err != nil {
+		return s, err
+	}
+	if s.TS, err = r.i64(); err != nil {
+		return s, err
+	}
+	if s.Compressed, err = r.bytes(); err != nil {
+		return s, err
+	}
+	sig, err := r.bytes()
+	if err != nil {
+		return s, err
+	}
+	s.Sig = sigagg.Signature(sig)
+	return s, nil
+}
+
+// ---- UpdateMsg (DA -> query server) ----
+
+// EncodeUpdateMsg serializes a dissemination message.
+func EncodeUpdateMsg(msg *core.UpdateMsg) []byte {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u8(Version)
+	w.u8('U')
+	w.i64(msg.TS)
+	w.u64(uint64(len(msg.Upserts)))
+	for _, sr := range msg.Upserts {
+		putRecord(w, sr.Rec)
+		w.bytes(sr.Sig)
+	}
+	w.u64(uint64(len(msg.Deletes)))
+	for _, rid := range msg.Deletes {
+		w.u64(rid)
+	}
+	if msg.Summary != nil {
+		w.u8(1)
+		putSummary(w, msg.Summary)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// DecodeUpdateMsg parses a dissemination message.
+func DecodeUpdateMsg(data []byte) (*core.UpdateMsg, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'U'); err != nil {
+		return nil, err
+	}
+	msg := &core.UpdateMsg{}
+	var err error
+	if msg.TS, err = r.i64(); err != nil {
+		return nil, err
+	}
+	nUp, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nUp > maxLen {
+		return nil, fmt.Errorf("%w: upsert count %d", ErrCorrupt, nUp)
+	}
+	for i := uint64(0); i < nUp; i++ {
+		rec, err := getRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		msg.Upserts = append(msg.Upserts, core.SignedRecord{Rec: rec, Sig: sigagg.Signature(sig)})
+	}
+	nDel, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nDel > maxLen {
+		return nil, fmt.Errorf("%w: delete count %d", ErrCorrupt, nDel)
+	}
+	for i := uint64(0); i < nDel; i++ {
+		rid, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		msg.Deletes = append(msg.Deletes, rid)
+	}
+	hasSummary, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if hasSummary == 1 {
+		s, err := getSummary(r)
+		if err != nil {
+			return nil, err
+		}
+		msg.Summary = &s
+	} else if hasSummary != 0 {
+		return nil, fmt.Errorf("%w: bad summary flag %d", ErrCorrupt, hasSummary)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// ---- Answer (query server -> user) ----
+
+// EncodeAnswer serializes a verifiable query answer.
+func EncodeAnswer(ans *core.Answer) ([]byte, error) {
+	if ans == nil || ans.Chain == nil {
+		return nil, fmt.Errorf("wire: nil answer")
+	}
+	w := &writer{buf: make([]byte, 0, 512)}
+	w.u8(Version)
+	w.u8('A')
+	ca := ans.Chain
+	w.i64(ca.Lo)
+	w.i64(ca.Hi)
+	w.u64(uint64(len(ca.Records)))
+	for _, rec := range ca.Records {
+		putRecord(w, rec)
+	}
+	putRef(w, ca.Left)
+	putRef(w, ca.Right)
+	if ca.Anchor != nil {
+		w.u8(1)
+		putRecord(w, ca.Anchor)
+		putRef(w, ca.AnchorLeft)
+	} else {
+		w.u8(0)
+	}
+	w.bytes(ca.Agg)
+	w.u64(uint64(len(ans.Summaries)))
+	for i := range ans.Summaries {
+		putSummary(w, &ans.Summaries[i])
+	}
+	return w.buf, nil
+}
+
+// DecodeAnswer parses a verifiable query answer.
+func DecodeAnswer(data []byte) (*core.Answer, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'A'); err != nil {
+		return nil, err
+	}
+	ca := &chain.Answer{}
+	var err error
+	if ca.Lo, err = r.i64(); err != nil {
+		return nil, err
+	}
+	if ca.Hi, err = r.i64(); err != nil {
+		return nil, err
+	}
+	nRecs, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nRecs > maxLen {
+		return nil, fmt.Errorf("%w: record count %d", ErrCorrupt, nRecs)
+	}
+	for i := uint64(0); i < nRecs; i++ {
+		rec, err := getRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		ca.Records = append(ca.Records, rec)
+	}
+	if ca.Left, err = getRef(r); err != nil {
+		return nil, err
+	}
+	if ca.Right, err = getRef(r); err != nil {
+		return nil, err
+	}
+	hasAnchor, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch hasAnchor {
+	case 1:
+		if ca.Anchor, err = getRecord(r); err != nil {
+			return nil, err
+		}
+		if ca.AnchorLeft, err = getRef(r); err != nil {
+			return nil, err
+		}
+	case 0:
+	default:
+		return nil, fmt.Errorf("%w: bad anchor flag %d", ErrCorrupt, hasAnchor)
+	}
+	agg, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	ca.Agg = sigagg.Signature(agg)
+	ans := &core.Answer{Chain: ca}
+	nSums, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nSums > maxLen {
+		return nil, fmt.Errorf("%w: summary count %d", ErrCorrupt, nSums)
+	}
+	for i := uint64(0); i < nSums; i++ {
+		s, err := getSummary(r)
+		if err != nil {
+			return nil, err
+		}
+		ans.Summaries = append(ans.Summaries, s)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ans, nil
+}
+
+func header(r *reader, kind byte) error {
+	v, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, Version)
+	}
+	k, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if k != kind {
+		return fmt.Errorf("%w: message kind %q, want %q", ErrCorrupt, k, kind)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"authdb/internal/core"
+	"authdb/internal/sigagg/bas"
+	"authdb/internal/sigcache"
+)
+
+// system builds a loaded core.System for end-to-end wire tests.
+func system(t *testing.T, n int) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(bas.New(0), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = &core.Record{
+			Key:   int64(i+1) * 10,
+			Attrs: [][]byte{[]byte(fmt.Sprintf("v-%d", i)), {0x00, 0xFF}},
+		}
+	}
+	msg, err := sys.DA.Load(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestUpdateMsgRoundTripThroughServer(t *testing.T) {
+	// A second server fed only decoded wire bytes must end up in the
+	// same state as the primary.
+	sys := system(t, 50)
+	mirror := core.NewQueryServer(sys.Scheme)
+
+	feed := func(msg *core.UpdateMsg, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.QS.Apply(msg); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeUpdateMsg(EncodeUpdateMsg(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mirror.Apply(decoded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(sys.DA.Update(100, [][]byte{[]byte("v2")}, 100))
+	feed(sys.DA.Insert(&core.Record{Key: 55, Attrs: [][]byte{[]byte("new")}}, 150))
+	feed(sys.DA.Delete(200, 200))
+	feed(sys.DA.ClosePeriod(1_000))
+
+	if mirror.Len() == 0 {
+		t.Fatal("mirror server received nothing")
+	}
+	// The mirrored upserts must verify under the DA's key.
+	ans, err := mirror.Query(55, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Chain.Records) != 1 || string(ans.Chain.Records[0].Attrs[0]) != "new" {
+		t.Fatalf("mirror state wrong: %+v", ans.Chain.Records)
+	}
+}
+
+func TestUpdateMsgRoundTripExact(t *testing.T) {
+	sys := system(t, 10)
+	msg, err := sys.DA.Update(50, [][]byte{[]byte("x"), nil, {1, 2, 3}}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeMsg, err := sys.DA.ClosePeriod(1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*core.UpdateMsg{msg, closeMsg} {
+		got, err := DecodeUpdateMsg(EncodeUpdateMsg(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TS != m.TS || len(got.Upserts) != len(m.Upserts) || len(got.Deletes) != len(m.Deletes) {
+			t.Fatalf("shape mismatch: %+v vs %+v", got, m)
+		}
+		for i := range m.Upserts {
+			a, b := got.Upserts[i], m.Upserts[i]
+			if a.Rec.RID != b.Rec.RID || a.Rec.Key != b.Rec.Key || a.Rec.TS != b.Rec.TS {
+				t.Fatal("record fields lost")
+			}
+			if string(a.Sig) != string(b.Sig) {
+				t.Fatal("signature lost")
+			}
+			if len(a.Rec.Attrs) != len(b.Rec.Attrs) {
+				t.Fatal("attrs lost")
+			}
+		}
+		if (m.Summary == nil) != (got.Summary == nil) {
+			t.Fatal("summary presence lost")
+		}
+		if m.Summary != nil {
+			if got.Summary.Seq != m.Summary.Seq || string(got.Summary.Sig) != string(m.Summary.Sig) {
+				t.Fatal("summary fields lost")
+			}
+		}
+	}
+}
+
+func TestAnswerRoundTripVerifies(t *testing.T) {
+	sys := system(t, 100)
+	closeMsg, err := sys.DA.ClosePeriod(1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Deliver(closeMsg); err != nil {
+		t.Fatal(err)
+	}
+	for _, rng := range [][2]int64{{250, 500}, {1, 5} /* empty below domain */, {255, 256} /* empty gap */} {
+		ans, err := sys.QS.Query(rng[0], rng[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeAnswer(ans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeAnswer(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The decoded answer must verify exactly like the original.
+		v := core.NewVerifier(sys.Scheme, sys.Pub, core.DefaultConfig())
+		if _, err := v.VerifyAnswer(got, rng[0], rng[1], 1_100); err != nil {
+			t.Fatalf("decoded answer for %v failed verification: %v", rng, err)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	sys := system(t, 20)
+	ans, err := sys.QS.Query(50, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnswer(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations at every prefix must error, never panic.
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, err := DecodeAnswer(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodeAnswer(append(append([]byte{}, data...), 0xAA)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Wrong kind and version.
+	bad := append([]byte{}, data...)
+	bad[1] = 'U'
+	if _, err := DecodeAnswer(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("wrong kind accepted")
+	}
+	bad = append([]byte{}, data...)
+	bad[0] = 99
+	if _, err := DecodeAnswer(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestDecodeRejectsLengthBombs(t *testing.T) {
+	// A hostile length prefix must not trigger a huge allocation.
+	w := []byte{Version, 'A'}
+	w = append(w, make([]byte, 16)...) // lo, hi
+	w = append(w, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeAnswer(w); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("length bomb accepted")
+	}
+	u := []byte{Version, 'U'}
+	u = append(u, make([]byte, 8)...)
+	u = append(u, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeUpdateMsg(u); !errors.Is(err, ErrCorrupt) {
+		t.Fatal("length bomb accepted")
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	prop := func(data []byte) bool {
+		// Any input either decodes or errors; panics fail the test run.
+		DecodeAnswer(data)
+		DecodeUpdateMsg(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireWithSigCacheAnswers(t *testing.T) {
+	sys := system(t, 256)
+	if err := sys.QS.EnableSigCache(sigcache.Uniform, 4, sigcache.Eager); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := sys.QS.Query(10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeAnswer(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAnswer(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Verifier.VerifyAnswer(got, 10, 2000, 100); err != nil {
+		t.Fatal(err)
+	}
+}
