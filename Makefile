@@ -1,0 +1,34 @@
+GO      ?= go
+# Relation size for the benchmark targets (the acceptance point is 1M;
+# the default keeps local/CI runs short).
+BENCH_N ?= 100000
+
+.PHONY: all build test race vet bench proof clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled pass over the concurrency-heavy packages.
+race:
+	$(GO) test -race ./internal/core ./internal/aggtree ./internal/sigcache
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark; AUTHDB_PROOF_N bounds the headline
+# proof-construction fixture.
+bench:
+	AUTHDB_PROOF_N=$(BENCH_N) $(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Emit BENCH_proof.json (tree vs linear proof construction).
+proof:
+	$(GO) run ./cmd/authbench proof -n $(BENCH_N) -k 10000
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_proof.json

@@ -8,7 +8,7 @@
 //	authbench <experiment> [flags]
 //
 // Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
-// fig11 all
+// fig11 proof all
 //
 // Absolute numbers depend on the host; the substitutions versus the
 // paper's testbed are catalogued in DESIGN.md.
@@ -37,6 +37,7 @@ var experiments = []experiment{
 	{"fig9", "response time vs arrival rate, range ops (sf=1e-3)", runFig9},
 	{"fig10", "SigCache effectiveness vs cache size, Eager vs Lazy", runFig10},
 	{"fig11", "equi-join VO size: BV vs BF across α, m/IB, IB/p, selectivity", runFig11},
+	{"proof", "aggregation-tree vs linear proof construction (writes BENCH_proof.json)", runProof},
 }
 
 func main() {

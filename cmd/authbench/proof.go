@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"authdb/internal/chain"
+	"authdb/internal/core"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+)
+
+// proofResult is the JSON record emitted for the perf trajectory: the
+// wall-clock and aggregation-op cost of proof construction through the
+// per-shard aggregation trees versus the linear baseline.
+type proofResult struct {
+	Scheme          string  `json:"scheme"`
+	N               int     `json:"n"`
+	K               int     `json:"k"`
+	Queries         int     `json:"queries"`
+	Shards          int     `json:"shards"`
+	TreeNsPerQuery  int64   `json:"tree_ns_per_query"`
+	LinNsPerQuery   int64   `json:"linear_ns_per_query"`
+	Speedup         float64 `json:"speedup"`
+	TreeAggOps      int     `json:"tree_aggops_per_query"`
+	LinAggOps       int     `json:"linear_aggops_per_query"`
+	BuildNs         int64   `json:"fixture_build_ns"`
+	AnswersVerified bool    `json:"answers_verified"`
+}
+
+// runProof measures proof construction at n records / k results under
+// real BAS aggregation and writes BENCH_proof.json. A short default
+// (n=100k) keeps CI runs quick; raise -n for the paper-scale point.
+func runProof(args []string) error {
+	fs := newFlags("proof")
+	n := fs.Int("n", 100_000, "relation size")
+	k := fs.Int("k", 10_000, "query result cardinality")
+	queries := fs.Int("queries", 5, "timed queries per mode")
+	out := fs.String("out", "BENCH_proof.json", "output JSON path (empty to skip)")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *k > *n {
+		return fmt.Errorf("k=%d exceeds n=%d", *k, *n)
+	}
+
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		return err
+	}
+	bound, err := sigagg.Bind(scheme, pub)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("proof: signing %d records (%d workers)...\n", *n, runtime.GOMAXPROCS(0))
+	buildStart := time.Now()
+	recs := make([]*core.Record, *n)
+	keys := make([]int64, *n)
+	for i := range recs {
+		keys[i] = int64(i+1) * 10
+		recs[i] = &core.Record{RID: uint64(i + 1), Key: keys[i], Attrs: [][]byte{[]byte("p")}, TS: 1}
+	}
+	upserts := make([]core.SignedRecord, *n)
+	var wg sync.WaitGroup
+	var signErr error
+	var errOnce sync.Once
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (*n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > *n {
+			hi = *n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				left, right := chain.MinRef, chain.MaxRef
+				if i > 0 {
+					left = recs[i-1].Ref()
+				}
+				if i < *n-1 {
+					right = recs[i+1].Ref()
+				}
+				d := chain.Digest(recs[i], left, right)
+				sig, err := bound.Sign(priv, d[:])
+				if err != nil {
+					errOnce.Do(func() { signErr = err })
+					return
+				}
+				upserts[i] = core.SignedRecord{Rec: recs[i], Sig: sig}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if signErr != nil {
+		return signErr
+	}
+	msg := &core.UpdateMsg{TS: 1, Upserts: upserts}
+	treeQS := core.NewQueryServer(bound)
+	if err := treeQS.Apply(msg); err != nil {
+		return err
+	}
+	linQS := core.NewQueryServer(bound, core.WithLinearAggregation())
+	if err := linQS.Apply(msg); err != nil {
+		return err
+	}
+	buildNs := time.Since(buildStart).Nanoseconds()
+	verifier := core.NewVerifier(bound, pub, core.DefaultConfig())
+
+	measure := func(qs *core.QueryServer) (nsPerQuery int64, aggOps int, err error) {
+		verified := false
+		var total time.Duration
+		for q := 0; q < *queries; q++ {
+			r := (q * 9973) % (*n - *k + 1)
+			lo, hi := keys[r], keys[r+*k-1]
+			start := time.Now()
+			ans, err := qs.Query(lo, hi)
+			total += time.Since(start)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(ans.Chain.Records) != *k {
+				return 0, 0, fmt.Errorf("proof: got %d records, want %d", len(ans.Chain.Records), *k)
+			}
+			aggOps = ans.Ops
+			if !verified {
+				if _, err := verifier.VerifyAnswer(ans, lo, hi, 10); err != nil {
+					return 0, 0, fmt.Errorf("proof: answer failed verification: %w", err)
+				}
+				verified = true
+			}
+		}
+		return total.Nanoseconds() / int64(*queries), aggOps, nil
+	}
+
+	treeNs, treeOps, err := measure(treeQS)
+	if err != nil {
+		return err
+	}
+	linNs, linOps, err := measure(linQS)
+	if err != nil {
+		return err
+	}
+
+	res := proofResult{
+		Scheme:          bound.Name(),
+		N:               *n,
+		K:               *k,
+		Queries:         *queries,
+		Shards:          treeQS.Shards(),
+		TreeNsPerQuery:  treeNs,
+		LinNsPerQuery:   linNs,
+		Speedup:         float64(linNs) / float64(treeNs),
+		TreeAggOps:      treeOps,
+		LinAggOps:       linOps,
+		BuildNs:         buildNs,
+		AnswersVerified: true,
+	}
+	fmt.Printf("proof: n=%d k=%d shards=%d\n", res.N, res.K, res.Shards)
+	fmt.Printf("  tree   : %12d ns/query  %6d aggops\n", res.TreeNsPerQuery, res.TreeAggOps)
+	fmt.Printf("  linear : %12d ns/query  %6d aggops\n", res.LinNsPerQuery, res.LinAggOps)
+	fmt.Printf("  speedup: %.1fx, every answer verified\n", res.Speedup)
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("proof: wrote %s\n", *out)
+	}
+	return nil
+}

@@ -5,10 +5,38 @@
 // authenticity, completeness and freshness guarantees while supporting
 // concurrent updates.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// system inventory), runnable examples under examples/, and the
-// experiment harness that regenerates every table and figure of the
-// paper under cmd/authbench. The root package exists to carry the
-// module documentation and the per-experiment benchmark suite
-// (bench_test.go).
+// # Architecture
+//
+// Three parties (internal/core): a trusted DataAggregator owns the data
+// and the signing key, chain-signs every record between its neighbours
+// (internal/chain) and publishes certified ρ-period update summaries
+// (internal/freshness); an untrusted QueryServer stores the signed
+// records and answers range selections with correctness proofs; a
+// user-side Verifier checks each answer with nothing but the
+// aggregator's public key.
+//
+// The QueryServer is sharded by key range. Each shard pairs the paper's
+// ASign B+-tree (internal/btree — records, boundaries, neighbours) with
+// an incrementally maintained aggregation tree (internal/aggtree) over
+// the same leaf signatures, so building the aggregate signature for a
+// range proof costs O(log n) Combine operations per overlapped shard —
+// assembled concurrently — instead of one aggregation per result
+// record. A SigCache (internal/sigcache, §4 of the paper) can be pinned
+// over a frozen population as an additional fast path; its tree
+// mechanics live in aggtree too, as a pinned-frontier structure.
+//
+// Aggregate-signature schemes live under internal/sigagg: bilinear
+// aggregate signatures (sigagg/bas), condensed RSA (sigagg/crsa) and a
+// zero-cost counting scheme for experiments (sigagg/xortest), all
+// behind one Scheme interface with a batched, allocation-lean
+// AggregateInto fast path. internal/wire carries the DA→server and
+// server→user messages with pooled encode buffers.
+//
+// The implementation inventory is in DESIGN.md and README.md; runnable
+// examples are under examples/, and cmd/authbench regenerates every
+// table and figure of the paper plus the proof-construction benchmark
+// (BENCH_proof.json). The root package carries the module documentation
+// and the per-experiment benchmark suite (bench_test.go), including
+// BenchmarkQuery, the n=1M/k=10k headline comparison of tree versus
+// linear proof construction.
 package authdb

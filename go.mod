@@ -1,0 +1,3 @@
+module authdb
+
+go 1.22

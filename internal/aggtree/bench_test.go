@@ -1,0 +1,83 @@
+package aggtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"authdb/internal/digest"
+	"authdb/internal/sigagg/xortest"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	scheme := xortest.New()
+	priv, _, _ := scheme.KeyGen(nil)
+	entries := make([]Entry, n)
+	for i := range entries {
+		d := digest.Sum([]byte(fmt.Sprintf("b-%d", i)))
+		sig, _ := scheme.Sign(priv, d[:])
+		entries[i] = Entry{Key: int64(i), RID: uint64(i), Sig: sig}
+	}
+	tr, _, err := BulkLoad(scheme, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkAggRange(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr := benchTree(b, n)
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			totalOps := 0
+			for i := 0; i < b.N; i++ {
+				q := rng.Int63n(int64(n)) + 1
+				lo := rng.Int63n(int64(n) - q + 1)
+				_, ops, err := tr.AggRange(lo, lo+q-1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalOps += ops
+			}
+			b.ReportMetric(float64(totalOps)/float64(b.N), "aggops/op")
+		})
+	}
+}
+
+func BenchmarkUpsert(b *testing.B) {
+	tr := benchTree(b, 1<<16)
+	scheme := xortest.New()
+	priv, _, _ := scheme.KeyGen(nil)
+	d := digest.Sum([]byte("u"))
+	sig, _ := scheme.Sign(priv, d[:])
+	_ = sig
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := rng.Int63n(1 << 17)
+		if _, _, err := tr.Upsert(Entry{Key: key, RID: uint64(i), Sig: sig}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	scheme := xortest.New()
+	priv, _, _ := scheme.KeyGen(nil)
+	const n = 1 << 16
+	entries := make([]Entry, n)
+	for i := range entries {
+		d := digest.Sum([]byte(fmt.Sprintf("bl-%d", i)))
+		sig, _ := scheme.Sign(priv, d[:])
+		entries[i] = Entry{Key: int64(i), RID: uint64(i), Sig: sig}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BulkLoad(scheme, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package aggtree
+
+import (
+	"fmt"
+
+	"authdb/internal/sigagg"
+)
+
+// Entry is one leaf of the aggregation tree: the indexed key, the record
+// identifier and the record's aggregate-capable signature.
+type Entry struct {
+	Key int64
+	RID uint64
+	Sig sigagg.Signature
+}
+
+// Tree is a weight-balanced search tree over entries ordered by key,
+// where every node also stores the aggregate signature of its subtree.
+// Range aggregates and incremental maintenance (upsert, delete) both
+// cost O(log n) aggregation operations. The zero value is not usable;
+// call New or BulkLoad.
+//
+// Tree performs no locking. Mutations must be externally serialized;
+// read operations (Get, AggRange, Scan, Len, Height) never mutate the
+// tree and may run concurrently with each other.
+type Tree struct {
+	scheme  sigagg.Scheme
+	root    *node
+	scratch []sigagg.Signature // pull assembly buffer (mutation paths only)
+}
+
+type node struct {
+	left, right *node
+	size        int
+	key         int64
+	rid         uint64
+	sig         sigagg.Signature // the leaf signature stored at this node
+	agg         sigagg.Signature // aggregate over the whole subtree
+}
+
+func (n *node) sz() int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+// Weight-balance parameters (Adams' trees, the variant used by Haskell's
+// Data.Map): a node is rebalanced when one child's weight exceeds
+// wDelta times the other's; wRatio selects single vs double rotation.
+const (
+	wDelta = 3
+	wRatio = 2
+)
+
+func weight(n *node) int { return n.sz() + 1 }
+
+// New returns an empty tree aggregating under scheme.
+func New(scheme sigagg.Scheme) *Tree {
+	return &Tree{scheme: scheme}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.root.sz() }
+
+// Height returns the longest root-to-leaf path length (0 for an empty
+// tree), for balance diagnostics.
+func (t *Tree) Height() int { return height(t.root) }
+
+func height(n *node) int {
+	if n == nil {
+		return 0
+	}
+	l, r := height(n.left), height(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Get returns the entry stored under key.
+func (t *Tree) Get(key int64) (Entry, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return Entry{Key: n.key, RID: n.rid, Sig: n.sig}, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Scan calls fn for every entry in key order, stopping early when fn
+// returns false.
+func (t *Tree) Scan(fn func(Entry) bool) {
+	scan(t.root, fn)
+}
+
+func scan(n *node, fn func(Entry) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !scan(n.left, fn) {
+		return false
+	}
+	if !fn(Entry{Key: n.key, RID: n.rid, Sig: n.sig}) {
+		return false
+	}
+	return scan(n.right, fn)
+}
+
+// pull recomputes n's size and aggregate from its children, returning
+// the aggregation operations spent. Aggregates are always written to
+// fresh storage: previously returned range aggregates may alias node
+// aggregates and must never be mutated behind the caller's back.
+func (t *Tree) pull(n *node) (int, error) {
+	n.size = 1 + n.left.sz() + n.right.sz()
+	t.scratch = t.scratch[:0]
+	if n.left != nil {
+		t.scratch = append(t.scratch, n.left.agg)
+	}
+	t.scratch = append(t.scratch, n.sig)
+	if n.right != nil {
+		t.scratch = append(t.scratch, n.right.agg)
+	}
+	if len(t.scratch) == 1 {
+		n.agg = n.sig
+		return 0, nil
+	}
+	agg, err := sigagg.AggregateInto(t.scheme, nil, t.scratch)
+	if err != nil {
+		return 0, err
+	}
+	n.agg = agg
+	return len(t.scratch) - 1, nil
+}
+
+func (t *Tree) rotateLeft(n *node) (*node, int, error) {
+	r := n.right
+	n.right = r.left
+	ops, err := t.pull(n)
+	if err != nil {
+		return nil, ops, err
+	}
+	r.left = n
+	more, err := t.pull(r)
+	return r, ops + more, err
+}
+
+func (t *Tree) rotateRight(n *node) (*node, int, error) {
+	l := n.left
+	n.left = l.right
+	ops, err := t.pull(n)
+	if err != nil {
+		return nil, ops, err
+	}
+	l.right = n
+	more, err := t.pull(l)
+	return l, ops + more, err
+}
+
+// balance restores the weight invariant at n after one child changed by
+// a single insertion or deletion. n's size and aggregate must already be
+// current (pull before balance).
+func (t *Tree) balance(n *node) (*node, int, error) {
+	lw, rw := weight(n.left), weight(n.right)
+	switch {
+	case lw+rw <= 2: // at most one entry below
+		return n, 0, nil
+	case rw > wDelta*lw:
+		ops := 0
+		if weight(n.right.left) >= wRatio*weight(n.right.right) {
+			nr, rops, err := t.rotateRight(n.right)
+			if err != nil {
+				return nil, rops, err
+			}
+			n.right = nr
+			ops = rops
+		}
+		root, rops, err := t.rotateLeft(n)
+		return root, ops + rops, err
+	case lw > wDelta*rw:
+		ops := 0
+		if weight(n.left.right) >= wRatio*weight(n.left.left) {
+			nl, rops, err := t.rotateLeft(n.left)
+			if err != nil {
+				return nil, rops, err
+			}
+			n.left = nl
+			ops = rops
+		}
+		root, rops, err := t.rotateRight(n)
+		return root, ops + rops, err
+	default:
+		return n, 0, nil
+	}
+}
+
+// Upsert inserts the entry or replaces the signature (and rid) stored
+// under its key. It returns whether an existing entry was replaced and
+// the aggregation operations spent on maintenance.
+func (t *Tree) Upsert(e Entry) (replaced bool, ops int, err error) {
+	root, replaced, ops, err := t.upsert(t.root, e)
+	if err != nil {
+		return false, ops, err
+	}
+	t.root = root
+	return replaced, ops, nil
+}
+
+func (t *Tree) upsert(n *node, e Entry) (*node, bool, int, error) {
+	if n == nil {
+		return &node{size: 1, key: e.Key, rid: e.RID, sig: e.Sig, agg: e.Sig}, false, 0, nil
+	}
+	var (
+		replaced bool
+		child    *node
+		ops      int
+		err      error
+	)
+	switch {
+	case e.Key < n.key:
+		child, replaced, ops, err = t.upsert(n.left, e)
+		n.left = child
+	case e.Key > n.key:
+		child, replaced, ops, err = t.upsert(n.right, e)
+		n.right = child
+	default:
+		n.rid, n.sig = e.RID, e.Sig
+		pops, perr := t.pull(n)
+		return n, true, pops, perr
+	}
+	if err != nil {
+		return nil, replaced, ops, err
+	}
+	pops, err := t.pull(n)
+	ops += pops
+	if err != nil {
+		return nil, replaced, ops, err
+	}
+	if replaced {
+		// Size unchanged: the weight invariant still holds.
+		return n, true, ops, nil
+	}
+	root, bops, err := t.balance(n)
+	return root, replaced, ops + bops, err
+}
+
+// Delete removes the entry stored under key, returning whether it
+// existed and the aggregation operations spent on maintenance.
+func (t *Tree) Delete(key int64) (deleted bool, ops int, err error) {
+	root, deleted, ops, err := t.delete(t.root, key)
+	if err != nil {
+		return false, ops, err
+	}
+	t.root = root
+	return deleted, ops, nil
+}
+
+func (t *Tree) delete(n *node, key int64) (*node, bool, int, error) {
+	if n == nil {
+		return nil, false, 0, nil
+	}
+	var (
+		deleted bool
+		child   *node
+		ops     int
+		err     error
+	)
+	switch {
+	case key < n.key:
+		child, deleted, ops, err = t.delete(n.left, key)
+		n.left = child
+	case key > n.key:
+		child, deleted, ops, err = t.delete(n.right, key)
+		n.right = child
+	default:
+		if n.left == nil {
+			return n.right, true, 0, nil
+		}
+		if n.right == nil {
+			return n.left, true, 0, nil
+		}
+		// Replace n's payload with the successor (min of right subtree).
+		min, rest, mops, merr := t.deleteMin(n.right)
+		if merr != nil {
+			return nil, true, mops, merr
+		}
+		n.key, n.rid, n.sig = min.key, min.rid, min.sig
+		n.right = rest
+		deleted, ops, err = true, mops, nil
+	}
+	if err != nil || !deleted {
+		return n, deleted, ops, err
+	}
+	pops, err := t.pull(n)
+	ops += pops
+	if err != nil {
+		return nil, deleted, ops, err
+	}
+	root, bops, err := t.balance(n)
+	return root, deleted, ops + bops, err
+}
+
+func (t *Tree) deleteMin(n *node) (min *node, rest *node, ops int, err error) {
+	if n.left == nil {
+		return n, n.right, 0, nil
+	}
+	min, child, ops, err := t.deleteMin(n.left)
+	if err != nil {
+		return nil, nil, ops, err
+	}
+	n.left = child
+	pops, err := t.pull(n)
+	ops += pops
+	if err != nil {
+		return nil, nil, ops, err
+	}
+	root, bops, err := t.balance(n)
+	return min, root, ops + bops, err
+}
+
+// AggRange returns the aggregate signature over every entry with
+// lo <= key <= hi, and the number of aggregation operations spent —
+// O(log n), the point of the structure. A range containing no entries
+// yields a nil signature. The returned signature may alias internal
+// storage and must not be mutated.
+func (t *Tree) AggRange(lo, hi int64) (sigagg.Signature, int, error) {
+	if lo > hi {
+		return nil, 0, fmt.Errorf("aggtree: inverted range [%d,%d]", lo, hi)
+	}
+	ra := rangeAgg{scheme: t.scheme}
+	if err := ra.split(t.root, lo, hi); err != nil {
+		return nil, ra.ops, err
+	}
+	return ra.acc, ra.ops, nil
+}
+
+type rangeAgg struct {
+	scheme sigagg.Scheme
+	acc    sigagg.Signature
+	ops    int
+}
+
+func (ra *rangeAgg) add(sig sigagg.Signature) error {
+	if sig == nil {
+		return nil
+	}
+	if ra.acc == nil {
+		ra.acc = sig
+		return nil
+	}
+	var err error
+	ra.acc, err = ra.scheme.Add(ra.acc, sig)
+	ra.ops++
+	return err
+}
+
+// split descends to the topmost node inside [lo, hi], then covers the
+// two flanks with geometrically growing whole subtrees.
+func (ra *rangeAgg) split(n *node, lo, hi int64) error {
+	for n != nil {
+		switch {
+		case n.key < lo:
+			n = n.right
+		case n.key > hi:
+			n = n.left
+		default:
+			if err := ra.coverGE(n.left, lo); err != nil {
+				return err
+			}
+			if err := ra.add(n.sig); err != nil {
+				return err
+			}
+			return ra.coverLE(n.right, hi)
+		}
+	}
+	return nil
+}
+
+// coverGE aggregates every entry of n's subtree with key >= lo.
+func (ra *rangeAgg) coverGE(n *node, lo int64) error {
+	for n != nil {
+		if n.key < lo {
+			n = n.right
+			continue
+		}
+		if err := ra.add(n.sig); err != nil {
+			return err
+		}
+		if n.right != nil {
+			if err := ra.add(n.right.agg); err != nil {
+				return err
+			}
+		}
+		n = n.left
+	}
+	return nil
+}
+
+// coverLE aggregates every entry of n's subtree with key <= hi.
+func (ra *rangeAgg) coverLE(n *node, hi int64) error {
+	for n != nil {
+		if n.key > hi {
+			n = n.left
+			continue
+		}
+		if err := ra.add(n.sig); err != nil {
+			return err
+		}
+		if n.left != nil {
+			if err := ra.add(n.left.agg); err != nil {
+				return err
+			}
+		}
+		n = n.right
+	}
+	return nil
+}
+
+// BulkLoad builds a perfectly balanced tree from entries strictly sorted
+// by key, computing every subtree aggregate bottom-up in Θ(n) total
+// aggregation operations (vs Θ(n log n) for n incremental upserts). It
+// returns the tree and the operations spent.
+func BulkLoad(scheme sigagg.Scheme, entries []Entry) (*Tree, int, error) {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Key <= entries[i-1].Key {
+			return nil, 0, fmt.Errorf("aggtree: bulk load input not strictly sorted at %d", i)
+		}
+	}
+	t := New(scheme)
+	root, ops, err := t.build(entries)
+	if err != nil {
+		return nil, ops, err
+	}
+	t.root = root
+	return t, ops, nil
+}
+
+func (t *Tree) build(entries []Entry) (*node, int, error) {
+	if len(entries) == 0 {
+		return nil, 0, nil
+	}
+	mid := len(entries) / 2
+	e := entries[mid]
+	n := &node{key: e.Key, rid: e.RID, sig: e.Sig}
+	var ops int
+	left, lops, err := t.build(entries[:mid])
+	ops += lops
+	if err != nil {
+		return nil, ops, err
+	}
+	right, rops, err := t.build(entries[mid+1:])
+	ops += rops
+	if err != nil {
+		return nil, ops, err
+	}
+	n.left, n.right = left, right
+	pops, err := t.pull(n)
+	ops += pops
+	if err != nil {
+		return nil, ops, err
+	}
+	return n, ops, nil
+}

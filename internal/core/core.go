@@ -75,8 +75,9 @@ type System struct {
 
 // NewSystem generates a key pair for the scheme and wires the three
 // parties. The scheme is bound to the signer where required (condensed
-// RSA).
-func NewSystem(scheme sigagg.Scheme, cfg Config) (*System, error) {
+// RSA). Options configure the query server (shards, parallelism,
+// baseline aggregation).
+func NewSystem(scheme sigagg.Scheme, cfg Config, qsOpts ...Option) (*System, error) {
 	priv, pub, err := scheme.KeyGen(nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: keygen: %w", err)
@@ -89,7 +90,7 @@ func NewSystem(scheme sigagg.Scheme, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	qs := NewQueryServer(bound)
+	qs := NewQueryServer(bound, qsOpts...)
 	v := NewVerifier(bound, pub, cfg)
 	return &System{DA: da, QS: qs, Verifier: v, Scheme: bound, Pub: pub}, nil
 }

@@ -56,6 +56,17 @@ func NewDataAggregator(scheme sigagg.Scheme, priv sigagg.PrivateKey, cfg Config)
 // Len returns the relation cardinality.
 func (da *DataAggregator) Len() int { return da.index.Len() }
 
+// keysAscending reports whether recs are already in non-descending key
+// order (duplicate detection happens during the load itself).
+func keysAscending(recs []*Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Key < recs[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
 // slot maps a record to its summary-bitmap position.
 func slot(rid uint64) int { return int(rid) }
 
@@ -110,9 +121,14 @@ func (da *DataAggregator) resign(key int64, ts int64, out *[]SignedRecord) error
 // time ts and returns the dissemination message carrying every signed
 // record. Typically called once to seed the query server.
 func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
-	sorted := make([]*Record, len(recs))
-	copy(sorted, recs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	sorted := recs
+	if !keysAscending(recs) {
+		// Only copy and sort when the caller's order actually needs
+		// fixing; generators and snapshots already deliver key order.
+		sorted = make([]*Record, len(recs))
+		copy(sorted, recs)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	}
 	msg := &UpdateMsg{TS: ts}
 	for i, rec := range sorted {
 		if i > 0 && rec.Key == sorted[i-1].Key {
@@ -269,6 +285,29 @@ func (da *DataAggregator) RenewOld(now int64, budget int) (*UpdateMsg, int, erro
 		renewed++
 	}
 	return msg, renewed, nil
+}
+
+// SnapshotMsg returns a dissemination message carrying every currently
+// certified record with its existing signature, sorted by key — what a
+// fresh (replica) query server needs to reach the aggregator's state
+// without any re-signing.
+func (da *DataAggregator) SnapshotMsg(ts int64) (*UpdateMsg, error) {
+	msg := &UpdateMsg{TS: ts}
+	var missing uint64
+	found := true
+	da.index.Scan(func(e btree.Entry) bool {
+		rec, ok := da.byRID[e.RID]
+		if !ok {
+			missing, found = e.RID, false
+			return false
+		}
+		msg.Upserts = append(msg.Upserts, SignedRecord{Rec: rec, Sig: e.Sig})
+		return true
+	})
+	if !found {
+		return nil, fmt.Errorf("core: snapshot: missing record body for rid %d", missing)
+	}
+	return msg, nil
 }
 
 // SummariesSince returns retained summaries published at or after ts

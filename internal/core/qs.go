@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
+	"authdb/internal/aggtree"
 	"authdb/internal/btree"
 	"authdb/internal/chain"
 	"authdb/internal/freshness"
@@ -20,7 +22,8 @@ type Answer struct {
 	Chain     *chain.Answer
 	Summaries []freshness.Summary // summaries published since the oldest result signature
 	// Ops is the number of aggregation operations spent building the
-	// proof (the SigCache cost unit).
+	// proof (the SigCache cost unit). With the aggregation tree this is
+	// O(log n) per shard touched, never linear in the result size.
 	Ops int
 }
 
@@ -33,83 +36,400 @@ func (a *Answer) VOSizeBytes(scheme sigagg.Scheme) int {
 	return size
 }
 
+// DefaultShards is the number of key-range shards a QueryServer uses
+// unless overridden with WithShards.
+const DefaultShards = 8
+
+// seedFactor scales the minimum population (seedFactor × shards) before
+// the server splits its keyspace into balanced shard ranges.
+const seedFactor = 4
+
+// shard is one key-range partition of the server: its slice of the
+// authenticated B+-tree, the aggregation tree over the same signatures,
+// and the record bodies, all guarded by one RWMutex. Queries lock the
+// shards they overlap shared; updates lock the shards they touch
+// exclusive — disjoint traffic proceeds in parallel.
+type shard struct {
+	mu    sync.RWMutex
+	index *btree.Tree
+	agg   *aggtree.Tree
+	recs  map[int64]*Record // key -> current record body
+}
+
 // QueryServer is the untrusted server: it stores the records,
 // signatures and summaries pushed by the DataAggregator and constructs
-// proofs for range selections, optionally through a SigCache.
+// proofs for range selections.
+//
+// The server is split into key-range shards. Each shard pairs the
+// paper's ASign B+-tree (records, boundaries, neighbours) with an
+// aggtree.Tree over the same leaf signatures, so a range proof costs
+// O(log n) aggregation operations per overlapped shard plus one combine
+// per extra shard — there is no linear-aggregation fallback. A SigCache
+// (§4) can additionally be pinned over a frozen population as a
+// fast path for ranges its positions still cover.
+//
+// Lock order: topo → routing → shards (ascending) → cacheMu → sumMu.
 type QueryServer struct {
 	scheme sigagg.Scheme
+	linear bool // baseline mode: aggregate result signatures linearly
+	par    int  // max goroutines for the parallel proof builder
+	nset   int  // configured shard count (construction only)
 
-	// mu guards the index, record maps and summaries: queries take it
-	// shared, update application exclusive. This is the server-level
-	// concurrency §3.2 argues for — updates touch individual records,
-	// never a global root, so writers block readers only briefly. The
-	// SigCache has its own internal lock (lazy refreshes mutate state
-	// on the query path).
-	mu sync.RWMutex
+	// topo guards the shard boundaries: shared by every operation,
+	// exclusive only during the one-off seeding that splits the
+	// keyspace once enough data has arrived.
+	topo   sync.RWMutex
+	bounds []int64 // ascending split keys; shard i covers keys < bounds[i]; nil = everything in shard 0
+	seeded bool
+	shards []*shard
 
-	index *btree.Tree
-	byRID map[uint64]*Record
-	keyOf map[uint64]int64 // rid -> current key (for upsert replacement)
+	// routing serializes update application and guards rid → key
+	// routing (queries never touch it).
+	routing sync.Mutex
+	keyOf   map[uint64]int64
 
+	sumMu     sync.RWMutex
 	summaries []freshness.Summary
 
+	cacheMu     sync.RWMutex
 	cache       *sigcache.Cache
 	cachePos    map[int64]int64 // frozen key -> leaf position
-	cacheFrozen bool            // structure changed since cache was built
+	cacheFrozen bool            // positions valid for the current population
+}
+
+// Option configures a QueryServer.
+type Option func(*QueryServer)
+
+// WithShards sets the number of key-range shards (minimum 1).
+func WithShards(n int) Option {
+	return func(qs *QueryServer) {
+		if n >= 1 {
+			qs.nset = n
+		}
+	}
+}
+
+// WithParallelism caps the goroutines the proof builder fans out to
+// (default GOMAXPROCS). 1 forces sequential partial aggregation.
+func WithParallelism(n int) Option {
+	return func(qs *QueryServer) {
+		if n >= 1 {
+			qs.par = n
+		}
+	}
+}
+
+// WithLinearAggregation disables the aggregation tree and reverts to
+// linearly aggregating every result signature — the pre-aggtree
+// baseline, kept for benchmarks and ablations.
+func WithLinearAggregation() Option {
+	return func(qs *QueryServer) { qs.linear = true }
 }
 
 // NewQueryServer creates an empty server for the (bound) scheme.
-func NewQueryServer(scheme sigagg.Scheme) *QueryServer {
-	return &QueryServer{
+func NewQueryServer(scheme sigagg.Scheme, opts ...Option) *QueryServer {
+	qs := &QueryServer{
 		scheme: scheme,
-		index:  btree.New(storage.DefaultPageConfig()),
-		byRID:  make(map[uint64]*Record),
+		par:    runtime.GOMAXPROCS(0),
+		nset:   DefaultShards,
 		keyOf:  make(map[uint64]int64),
 	}
+	for _, o := range opts {
+		o(qs)
+	}
+	qs.shards = make([]*shard, qs.nset)
+	for i := range qs.shards {
+		qs.shards[i] = newShard(scheme)
+	}
+	return qs
+}
+
+func newShard(scheme sigagg.Scheme) *shard {
+	return &shard{
+		index: btree.New(storage.DefaultPageConfig()),
+		agg:   aggtree.New(scheme),
+		recs:  make(map[int64]*Record),
+	}
+}
+
+// shardOf maps a key to its shard index (bounds held under topo).
+func (qs *QueryServer) shardOf(key int64) int {
+	if qs.bounds == nil {
+		return 0
+	}
+	return sort.Search(len(qs.bounds), func(i int) bool { return key < qs.bounds[i] })
 }
 
 // Len returns the stored record count.
 func (qs *QueryServer) Len() int {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	return qs.index.Len()
+	qs.topo.RLock()
+	defer qs.topo.RUnlock()
+	total := 0
+	for _, sh := range qs.shards {
+		sh.mu.RLock()
+		total += sh.index.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Shards reports the number of key-range shards.
+func (qs *QueryServer) Shards() int { return len(qs.shards) }
+
+// lockAll write-locks every shard in ascending order.
+func (qs *QueryServer) lockAll() {
+	for _, sh := range qs.shards {
+		sh.mu.Lock()
+	}
+}
+
+func (qs *QueryServer) unlockAll() {
+	for _, sh := range qs.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// maybeSeed splits the keyspace into balanced shard ranges once the
+// population (stored plus incoming) is large enough, migrating any
+// existing entries. One-off: afterwards the boundaries are fixed.
+func (qs *QueryServer) maybeSeed(msg *UpdateMsg) error {
+	if len(qs.shards) == 1 {
+		return nil
+	}
+	qs.topo.Lock()
+	defer qs.topo.Unlock()
+	if qs.seeded {
+		return nil
+	}
+	keys := make([]int64, 0, len(msg.Upserts)+qs.shards[0].index.Len())
+	qs.shards[0].index.Scan(func(e btree.Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	for _, sr := range msg.Upserts {
+		keys = append(keys, sr.Rec.Key)
+	}
+	if len(keys) < seedFactor*len(qs.shards) {
+		return nil
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	// Deduplicate (an update message can re-upsert stored keys) so the
+	// quantiles below never repeat a split key, which would leave a
+	// shard permanently empty.
+	uniq := keys[:1]
+	for _, k := range keys[1:] {
+		if k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	keys = uniq
+	if len(keys) < seedFactor*len(qs.shards) {
+		return nil // too few distinct keys to split evenly yet
+	}
+	nb := len(qs.shards) - 1
+	bounds := make([]int64, nb)
+	for i := 0; i < nb; i++ {
+		bounds[i] = keys[(i+1)*len(keys)/len(qs.shards)]
+	}
+	qs.bounds = bounds
+	qs.seeded = true
+	// Migrate anything already stored (routing is untouched: keys keep
+	// their rids).
+	old := qs.shards[0]
+	if old.index.Len() == 0 {
+		return nil
+	}
+	entries := make([]aggtree.Entry, 0, old.index.Len())
+	old.index.Scan(func(e btree.Entry) bool {
+		entries = append(entries, aggtree.Entry{Key: e.Key, RID: e.RID, Sig: e.Sig})
+		return true
+	})
+	recs := old.recs
+	for i := range qs.shards {
+		qs.shards[i] = newShard(qs.scheme)
+	}
+	if err := qs.bulkFill(entries, recs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bulkFill distributes sorted entries across the (empty) shards,
+// building each shard's B+-tree and aggregation tree bottom-up. Caller
+// must hold either topo exclusively or all shard write locks.
+func (qs *QueryServer) bulkFill(entries []aggtree.Entry, recs map[int64]*Record) error {
+	cfg := storage.DefaultPageConfig()
+	start := 0
+	for i, sh := range qs.shards {
+		end := len(entries)
+		if i < len(qs.bounds) {
+			end = start + sort.Search(len(entries)-start, func(j int) bool {
+				return entries[start+j].Key >= qs.bounds[i]
+			})
+		}
+		part := entries[start:end]
+		start = end
+		if len(part) == 0 {
+			continue
+		}
+		be := make([]btree.Entry, len(part))
+		for j, e := range part {
+			be[j] = btree.Entry{Key: e.Key, RID: e.RID, Sig: e.Sig}
+			if rec, ok := recs[e.Key]; ok {
+				sh.recs[e.Key] = rec
+			}
+		}
+		idx, err := btree.BulkLoad(cfg, be)
+		if err != nil {
+			return fmt.Errorf("core: shard %d bulk load: %w", i, err)
+		}
+		sh.index = idx
+		if !qs.linear {
+			agg, _, err := aggtree.BulkLoad(qs.scheme, part)
+			if err != nil {
+				return fmt.Errorf("core: shard %d aggtree: %w", i, err)
+			}
+			sh.agg = agg
+		}
+	}
+	return nil
 }
 
 // Apply ingests one dissemination message from the DataAggregator.
+// Messages from the single-writer DA are serialized; queries touching
+// disjoint shards proceed concurrently.
 func (qs *QueryServer) Apply(msg *UpdateMsg) error {
-	qs.mu.Lock()
-	defer qs.mu.Unlock()
+	if err := qs.maybeSeed(msg); err != nil {
+		return err
+	}
+	qs.topo.RLock()
+	defer qs.topo.RUnlock()
+	qs.routing.Lock()
+	defer qs.routing.Unlock()
+
+	if qs.bulkApply(msg) {
+		return qs.applyBulk(msg)
+	}
+
+	// Plan the shard set, then write-lock it in ascending order.
+	affected := map[int]bool{}
 	for _, rid := range msg.Deletes {
 		if key, ok := qs.keyOf[rid]; ok {
-			qs.index.Delete(key)
-			delete(qs.byRID, rid)
-			delete(qs.keyOf, rid)
-			qs.invalidateCacheStructure()
+			affected[qs.shardOf(key)] = true
 		}
+	}
+	for _, sr := range msg.Upserts {
+		affected[qs.shardOf(sr.Rec.Key)] = true
+		if oldKey, ok := qs.keyOf[sr.Rec.RID]; ok && oldKey != sr.Rec.Key {
+			affected[qs.shardOf(oldKey)] = true
+		}
+	}
+	ids := make([]int, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		qs.shards[id].mu.Lock()
+	}
+	defer func() {
+		for _, id := range ids {
+			qs.shards[id].mu.Unlock()
+		}
+	}()
+
+	for _, rid := range msg.Deletes {
+		key, ok := qs.keyOf[rid]
+		if !ok {
+			continue
+		}
+		sh := qs.shards[qs.shardOf(key)]
+		sh.index.Delete(key)
+		if !qs.linear {
+			if _, _, err := sh.agg.Delete(key); err != nil {
+				return fmt.Errorf("core: apply delete: %w", err)
+			}
+		}
+		delete(sh.recs, key)
+		delete(qs.keyOf, rid)
+		qs.invalidateCacheStructure()
 	}
 	for _, sr := range msg.Upserts {
 		rec := sr.Rec
 		if oldKey, ok := qs.keyOf[rec.RID]; ok && oldKey != rec.Key {
-			qs.index.Delete(oldKey)
+			oldSh := qs.shards[qs.shardOf(oldKey)]
+			oldSh.index.Delete(oldKey)
+			if !qs.linear {
+				if _, _, err := oldSh.agg.Delete(oldKey); err != nil {
+					return fmt.Errorf("core: apply move: %w", err)
+				}
+			}
+			delete(oldSh.recs, oldKey)
 			qs.invalidateCacheStructure()
 		}
-		if !qs.index.Update(rec.Key, sr.Sig) {
-			if err := qs.index.Insert(btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
+		sh := qs.shards[qs.shardOf(rec.Key)]
+		if sh.index.Update(rec.Key, sr.Sig) {
+			if err := qs.refreshCacheLeaf(rec.Key, sr.Sig); err != nil {
+				return err
+			}
+		} else {
+			if err := sh.index.Insert(btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
 				return fmt.Errorf("core: apply upsert: %w", err)
 			}
 			qs.invalidateCacheStructure()
-		} else if qs.cache != nil && qs.cacheFrozen {
-			if pos, ok := qs.cachePos[rec.Key]; ok {
-				if _, err := qs.cache.UpdateLeaf(pos, sr.Sig); err != nil {
-					return err
-				}
+		}
+		if !qs.linear {
+			if _, _, err := sh.agg.Upsert(aggtree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
+				return fmt.Errorf("core: apply upsert: %w", err)
 			}
 		}
-		qs.byRID[rec.RID] = rec
+		sh.recs[rec.Key] = rec
 		qs.keyOf[rec.RID] = rec.Key
 	}
 	if msg.Summary != nil {
+		qs.sumMu.Lock()
 		qs.summaries = append(qs.summaries, *msg.Summary)
+		qs.sumMu.Unlock()
+	}
+	return nil
+}
+
+// bulkApply reports whether msg can take the bottom-up build path: the
+// server is empty and the message is a pure, sorted load (what DA.Load
+// produces).
+func (qs *QueryServer) bulkApply(msg *UpdateMsg) bool {
+	if len(msg.Deletes) > 0 || len(msg.Upserts) < 2 || len(qs.keyOf) > 0 {
+		return false
+	}
+	for i := 1; i < len(msg.Upserts); i++ {
+		if msg.Upserts[i].Rec.Key <= msg.Upserts[i-1].Rec.Key {
+			return false
+		}
+	}
+	return true
+}
+
+// applyBulk loads a sorted initial population bottom-up: Θ(n) work and
+// Θ(n) aggregation operations instead of n incremental O(log n)
+// insertions. Caller holds topo (shared) and routing.
+func (qs *QueryServer) applyBulk(msg *UpdateMsg) error {
+	qs.lockAll()
+	defer qs.unlockAll()
+	entries := make([]aggtree.Entry, len(msg.Upserts))
+	recs := make(map[int64]*Record, len(msg.Upserts))
+	for i, sr := range msg.Upserts {
+		rec := sr.Rec
+		entries[i] = aggtree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}
+		recs[rec.Key] = rec
+		qs.keyOf[rec.RID] = rec.Key
+	}
+	if err := qs.bulkFill(entries, recs); err != nil {
+		return err
+	}
+	if msg.Summary != nil {
+		qs.sumMu.Lock()
+		qs.summaries = append(qs.summaries, *msg.Summary)
+		qs.sumMu.Unlock()
 	}
 	return nil
 }
@@ -118,20 +438,57 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 // population changes (SigCache positions are frozen over a static
 // population, per §4.1's setting of in-place record modifications).
 func (qs *QueryServer) invalidateCacheStructure() {
+	qs.cacheMu.Lock()
 	if qs.cacheFrozen {
 		qs.cache = nil
 		qs.cachePos = nil
 		qs.cacheFrozen = false
 	}
+	qs.cacheMu.Unlock()
+}
+
+// refreshCacheLeaf folds an in-place signature change into the frozen
+// SigCache, if one is active and covers the key. A failed refresh can
+// leave a pinned aggregate half-updated (eager maintenance applies a
+// Remove then an Add), so on error the cache is dropped before the
+// error propagates — better no fast path than a corrupt one.
+func (qs *QueryServer) refreshCacheLeaf(key int64, sig sigagg.Signature) error {
+	qs.cacheMu.RLock()
+	cache, frozen := qs.cache, qs.cacheFrozen
+	var pos int64
+	ok := false
+	if frozen && cache != nil {
+		pos, ok = qs.cachePos[key]
+	}
+	qs.cacheMu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if _, err := cache.UpdateLeaf(pos, sig); err != nil {
+		qs.cacheMu.Lock()
+		qs.cache = nil
+		qs.cachePos = nil
+		qs.cacheFrozen = false
+		qs.cacheMu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // EnableSigCache builds a SigCache over the current key population
 // (padded conceptually to the next power of two with identity leaves)
-// and pins the nodes chosen by Algorithm 1 for the distribution.
+// and pins the nodes chosen by Algorithm 1 for the distribution. The
+// cache accelerates ranges whose frozen positions it still covers; all
+// other ranges use the aggregation tree.
 func (qs *QueryServer) EnableSigCache(dist sigcache.Dist, maxPairs int, strategy sigcache.Strategy) error {
-	qs.mu.Lock()
-	defer qs.mu.Unlock()
-	n := qs.index.Len()
+	qs.topo.RLock()
+	defer qs.topo.RUnlock()
+	qs.lockAll()
+	defer qs.unlockAll()
+	n := 0
+	for _, sh := range qs.shards {
+		n += sh.index.Len()
+	}
 	if n < 2 {
 		return fmt.Errorf("core: relation too small for SigCache")
 	}
@@ -140,18 +497,20 @@ func (qs *QueryServer) EnableSigCache(dist sigcache.Dist, maxPairs int, strategy
 		pow *= 2
 	}
 	leaves := make([]sigagg.Signature, pow)
-	qs.cachePos = make(map[int64]int64, n)
+	cachePos := make(map[int64]int64, n)
 	identity, err := qs.scheme.Aggregate(nil)
 	if err != nil {
 		return err
 	}
 	pos := int64(0)
-	qs.index.Scan(func(e btree.Entry) bool {
-		leaves[pos] = e.Sig
-		qs.cachePos[e.Key] = pos
-		pos++
-		return true
-	})
+	for _, sh := range qs.shards {
+		sh.index.Scan(func(e btree.Entry) bool {
+			leaves[pos] = e.Sig
+			cachePos[e.Key] = pos
+			pos++
+			return true
+		})
+	}
 	for i := int(pos); i < pow; i++ {
 		leaves[i] = identity
 	}
@@ -167,121 +526,20 @@ func (qs *QueryServer) EnableSigCache(dist sigcache.Dist, maxPairs int, strategy
 	if err := cache.Pin(sel.Nodes); err != nil {
 		return err
 	}
+	qs.cacheMu.Lock()
 	qs.cache = cache
+	qs.cachePos = cachePos
 	qs.cacheFrozen = true
+	qs.cacheMu.Unlock()
 	return nil
 }
 
 // CacheStats exposes the SigCache counters (zero value when disabled).
 func (qs *QueryServer) CacheStats() sigcache.Stats {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
+	qs.cacheMu.RLock()
+	defer qs.cacheMu.RUnlock()
 	if qs.cache == nil {
 		return sigcache.Stats{}
 	}
 	return qs.cache.Stats()
-}
-
-// Query answers the range selection σ_{lo<=Aind<=hi}, constructing the
-// §3.3 proof and attaching the summaries published since the oldest
-// signature in the answer.
-func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
-	if lo > hi {
-		return nil, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
-	}
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	entries, leftB, rightB := qs.index.RangeWithBoundaries(lo, hi)
-	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
-	ans := &Answer{Chain: ca}
-	oldestTS := int64(-1)
-
-	if len(entries) == 0 {
-		// Anchor on a boundary record (left preferred, else right).
-		var anchorEntry *btree.Entry
-		switch {
-		case leftB != nil:
-			anchorEntry = leftB
-		case rightB != nil:
-			anchorEntry = rightB
-		default:
-			return nil, fmt.Errorf("core: empty relation cannot prove emptiness")
-		}
-		rec := qs.byRID[anchorEntry.RID]
-		ca.Anchor = rec
-		la, ra := chain.MinRef, chain.MaxRef
-		if p, ok := qs.index.Predecessor(rec.Key); ok {
-			la = chain.Ref{Key: p.Key, RID: p.RID}
-		}
-		if s, ok := qs.index.Successor(rec.Key); ok {
-			ra = chain.Ref{Key: s.Key, RID: s.RID}
-		}
-		ca.AnchorLeft, ca.Right = la, ra
-		ca.Agg = sigagg.Signature(anchorEntry.Sig).Clone()
-		oldestTS = rec.TS
-	} else {
-		if leftB != nil {
-			ca.Left = chain.Ref{Key: leftB.Key, RID: leftB.RID}
-		}
-		if rightB != nil {
-			ca.Right = chain.Ref{Key: rightB.Key, RID: rightB.RID}
-		}
-		for _, e := range entries {
-			rec, ok := qs.byRID[e.RID]
-			if !ok {
-				return nil, fmt.Errorf("core: missing record body for rid %d", e.RID)
-			}
-			ca.Records = append(ca.Records, rec)
-			if oldestTS == -1 || rec.TS < oldestTS {
-				oldestTS = rec.TS
-			}
-		}
-		agg, ops, err := qs.aggregate(entries)
-		if err != nil {
-			return nil, err
-		}
-		ca.Agg = agg
-		ans.Ops = ops
-	}
-
-	// Attach every summary published since the oldest result signature.
-	i := sort.Search(len(qs.summaries), func(i int) bool {
-		return qs.summaries[i].TS >= oldestTS
-	})
-	ans.Summaries = qs.summaries[i:]
-	return ans, nil
-}
-
-// aggregate combines the entries' signatures, through the SigCache when
-// the whole run maps onto contiguous frozen positions.
-func (qs *QueryServer) aggregate(entries []btree.Entry) (sigagg.Signature, int, error) {
-	if qs.cache != nil && qs.cacheFrozen {
-		loPos, okLo := qs.cachePos[entries[0].Key]
-		hiPos, okHi := qs.cachePos[entries[len(entries)-1].Key]
-		if okLo && okHi && hiPos-loPos == int64(len(entries)-1) {
-			return qs.cache.AggregateRange(loPos, hiPos)
-		}
-	}
-	sigs := make([]sigagg.Signature, len(entries))
-	for i, e := range entries {
-		sigs[i] = e.Sig
-	}
-	agg, err := qs.scheme.Aggregate(sigs)
-	if err != nil {
-		return nil, 0, err
-	}
-	ops := len(sigs) - 1
-	if ops < 0 {
-		ops = 0
-	}
-	return agg, ops, nil
-}
-
-// SummariesSince returns the stored summaries published at or after ts
-// (served to users at log-in).
-func (qs *QueryServer) SummariesSince(ts int64) []freshness.Summary {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	i := sort.Search(len(qs.summaries), func(i int) bool { return qs.summaries[i].TS >= ts })
-	return qs.summaries[i:]
 }

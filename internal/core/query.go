@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"authdb/internal/btree"
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+)
+
+// window is one attempt at answering a query under a contiguous run of
+// shard read locks [loS, hiS]. Boundary lookups that would have to look
+// beyond the window set the widen flags instead; the caller releases the
+// locks, widens the window and retries (only empty edge shards ever
+// force a retry).
+type window struct {
+	qs       *QueryServer
+	loS, hiS int
+	widenLo  bool
+	widenHi  bool
+}
+
+func (w *window) pred(key int64) (btree.Entry, bool) {
+	j := w.qs.shardOf(key)
+	if j > w.hiS {
+		j = w.hiS
+	}
+	for ; j >= w.loS; j-- {
+		if e, ok := w.qs.shards[j].index.Predecessor(key); ok {
+			return e, true
+		}
+	}
+	if w.loS > 0 {
+		w.widenLo = true
+	}
+	return btree.Entry{}, false
+}
+
+func (w *window) succ(key int64) (btree.Entry, bool) {
+	j := w.qs.shardOf(key)
+	if j < w.loS {
+		j = w.loS
+	}
+	for ; j <= w.hiS; j++ {
+		if e, ok := w.qs.shards[j].index.Successor(key); ok {
+			return e, true
+		}
+	}
+	if w.hiS < len(w.qs.shards)-1 {
+		w.widenHi = true
+	}
+	return btree.Entry{}, false
+}
+
+func entryRef(e btree.Entry) chain.Ref { return chain.Ref{Key: e.Key, RID: e.RID} }
+
+// Query answers the range selection σ_{lo<=Aind<=hi}, constructing the
+// §3.3 proof and attaching the summaries published since the oldest
+// signature in the answer. The aggregate is assembled from per-shard
+// aggregation-tree partials — O(log n) Combine operations per shard
+// overlapped, computed concurrently — and never by linearly folding the
+// result signatures.
+func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
+	}
+	qs.topo.RLock()
+	defer qs.topo.RUnlock()
+	s, t := qs.shardOf(lo), qs.shardOf(hi)
+	loS, hiS := s, t
+	for {
+		for j := loS; j <= hiS; j++ {
+			qs.shards[j].mu.RLock()
+		}
+		ans, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi)
+		for j := loS; j <= hiS; j++ {
+			qs.shards[j].mu.RUnlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ans != nil {
+			return ans, nil
+		}
+		if widenLo && loS > 0 {
+			loS--
+		}
+		if widenHi && hiS < len(qs.shards)-1 {
+			hiS++
+		}
+	}
+}
+
+// shardRun is the slice of qualifying entries found in one shard.
+type shardRun struct {
+	shard   int
+	entries []btree.Entry
+}
+
+// queryWindow builds the answer under the currently held shard locks,
+// or reports which direction the lock window must grow. A nil answer
+// with neither widen flag set never happens (domain edges resolve to
+// sentinels, not to widening).
+func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, bool, bool, error) {
+	w := &window{qs: qs, loS: loS, hiS: hiS}
+	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
+	ans := &Answer{Chain: ca}
+	oldestTS := int64(-1)
+
+	runs := make([]shardRun, 0, t-s+1)
+	total := 0
+	for j := s; j <= t; j++ {
+		if es := qs.shards[j].index.Range(lo, hi); len(es) > 0 {
+			runs = append(runs, shardRun{shard: j, entries: es})
+			total += len(es)
+		}
+	}
+
+	if total == 0 {
+		// Anchor on a boundary record (left preferred, else right).
+		leftB, lok := w.pred(lo)
+		rightB, rok := w.succ(hi)
+		if w.widenLo || w.widenHi {
+			return nil, w.widenLo, w.widenHi, nil
+		}
+		var anchorEntry btree.Entry
+		switch {
+		case lok:
+			anchorEntry = leftB
+		case rok:
+			anchorEntry = rightB
+		default:
+			return nil, false, false, fmt.Errorf("core: empty relation cannot prove emptiness")
+		}
+		rec, ok := qs.shards[qs.shardOf(anchorEntry.Key)].recs[anchorEntry.Key]
+		if !ok {
+			return nil, false, false, fmt.Errorf("core: missing record body for key %d", anchorEntry.Key)
+		}
+		la, ra := chain.MinRef, chain.MaxRef
+		if p, ok := w.pred(anchorEntry.Key); ok {
+			la = entryRef(p)
+		}
+		if su, ok := w.succ(anchorEntry.Key); ok {
+			ra = entryRef(su)
+		}
+		if w.widenLo || w.widenHi {
+			return nil, w.widenLo, w.widenHi, nil
+		}
+		ca.Anchor = rec
+		ca.AnchorLeft, ca.Right = la, ra
+		ca.Agg = sigagg.Signature(anchorEntry.Sig).Clone()
+		oldestTS = rec.TS
+	} else {
+		if e, ok := w.pred(lo); ok {
+			ca.Left = entryRef(e)
+		}
+		if e, ok := w.succ(hi); ok {
+			ca.Right = entryRef(e)
+		}
+		if w.widenLo || w.widenHi {
+			return nil, w.widenLo, w.widenHi, nil
+		}
+		ca.Records = make([]*Record, 0, total)
+		for _, run := range runs {
+			sh := qs.shards[run.shard]
+			for _, e := range run.entries {
+				rec, ok := sh.recs[e.Key]
+				if !ok {
+					return nil, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
+				}
+				ca.Records = append(ca.Records, rec)
+				if oldestTS == -1 || rec.TS < oldestTS {
+					oldestTS = rec.TS
+				}
+			}
+		}
+		agg, ops, err := qs.aggregateRuns(runs, lo, hi, total)
+		if err != nil {
+			return nil, false, false, err
+		}
+		ca.Agg = agg
+		ans.Ops = ops
+	}
+
+	// Attach every summary published since the oldest result signature.
+	// Read while the shard locks are still held: updates to any answered
+	// record are serialized behind this query, so no summary marking one
+	// of them newer can have been published yet.
+	qs.sumMu.RLock()
+	i := sort.Search(len(qs.summaries), func(i int) bool {
+		return qs.summaries[i].TS >= oldestTS
+	})
+	n := len(qs.summaries)
+	ans.Summaries = qs.summaries[i:n:n]
+	qs.sumMu.RUnlock()
+	return ans, false, false, nil
+}
+
+// aggregateRuns builds the range aggregate: through the SigCache when
+// the whole run maps onto contiguous frozen positions and the pinned
+// cover is estimated to beat the aggregation trees, otherwise from
+// per-shard aggregation-tree partials (concurrently when more than one
+// shard participates), otherwise — in the linear baseline mode — by
+// folding every signature.
+func (qs *QueryServer) aggregateRuns(runs []shardRun, lo, hi int64, total int) (sigagg.Signature, int, error) {
+	first := runs[0].entries[0]
+	lastRun := runs[len(runs)-1].entries
+	last := lastRun[len(lastRun)-1]
+	qs.cacheMu.RLock()
+	if qs.cache != nil && qs.cacheFrozen {
+		loPos, okLo := qs.cachePos[first.Key]
+		hiPos, okHi := qs.cachePos[last.Key]
+		if okLo && okHi && hiPos-loPos == int64(total-1) {
+			cache := qs.cache
+			qs.cacheMu.RUnlock()
+			take := qs.linear // vs a linear fold the pinned cover always wins
+			if !take {
+				cacheOps, err := cache.EstimateOps(loPos, hiPos)
+				if err != nil {
+					return nil, 0, err
+				}
+				take = cacheOps <= qs.treeOpsEstimate(runs)
+			}
+			if take {
+				return cache.AggregateRange(loPos, hiPos)
+			}
+		} else {
+			qs.cacheMu.RUnlock()
+		}
+	} else {
+		qs.cacheMu.RUnlock()
+	}
+
+	if qs.linear {
+		sigs := make([]sigagg.Signature, 0, total)
+		for _, run := range runs {
+			for _, e := range run.entries {
+				sigs = append(sigs, e.Sig)
+			}
+		}
+		agg, err := sigagg.AggregateInto(qs.scheme, nil, sigs)
+		if err != nil {
+			return nil, 0, err
+		}
+		return agg, total - 1, nil
+	}
+
+	partials := make([]sigagg.Signature, len(runs))
+	partialOps := make([]int, len(runs))
+	aggOne := func(i int) error {
+		sig, ops, err := qs.shards[runs[i].shard].agg.AggRange(lo, hi)
+		if err != nil {
+			return err
+		}
+		if sig == nil {
+			return fmt.Errorf("core: shard %d aggregation tree out of sync", runs[i].shard)
+		}
+		partials[i], partialOps[i] = sig, ops
+		return nil
+	}
+	if len(runs) > 1 && qs.par > 1 {
+		g := newGroup(min(qs.par, len(runs)))
+		for i := range runs {
+			g.Go(func() error { return aggOne(i) })
+		}
+		if err := g.Wait(); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		for i := range runs {
+			if err := aggOne(i); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	ops := 0
+	for _, o := range partialOps {
+		ops += o
+	}
+	if len(partials) == 1 {
+		return partials[0], ops, nil
+	}
+	agg, err := sigagg.AggregateInto(qs.scheme, nil, partials)
+	if err != nil {
+		return nil, ops, err
+	}
+	return agg, ops + len(partials) - 1, nil
+}
+
+// treeOpsEstimate approximates what the per-shard aggregation trees
+// would spend on a range: a few combines per level on each overlapped
+// shard plus the cross-shard folds. Only used to pick the cheaper of
+// cache and tree, so precision is not critical.
+func (qs *QueryServer) treeOpsEstimate(runs []shardRun) int {
+	est := len(runs) - 1
+	for _, run := range runs {
+		est += 3 * qs.shards[run.shard].agg.Height()
+	}
+	return est
+}
+
+// group is a minimal errgroup: bounded fan-out, first error wins.
+type group struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	err error
+}
+
+func newGroup(limit int) *group { return &group{sem: make(chan struct{}, limit)} }
+
+// Go runs fn concurrently, blocking while the limit is saturated.
+func (g *group) Go(fn func() error) {
+	g.wg.Add(1)
+	g.sem <- struct{}{}
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+		}
+	}()
+}
+
+func (g *group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// SummariesSince returns the stored summaries published at or after ts
+// (served to users at log-in).
+func (qs *QueryServer) SummariesSince(ts int64) []freshness.Summary {
+	qs.sumMu.RLock()
+	defer qs.sumMu.RUnlock()
+	i := sort.Search(len(qs.summaries), func(i int) bool { return qs.summaries[i].TS >= ts })
+	n := len(qs.summaries)
+	return qs.summaries[i:n:n]
+}

@@ -54,9 +54,14 @@ type Relation struct {
 
 // BuildRelation sorts and chain-signs the records.
 func BuildRelation(scheme sigagg.Scheme, priv sigagg.PrivateKey, recs []*chain.Record) (*Relation, error) {
+	// The Relation retains this slice, so always copy; only the sort is
+	// skipped when the refs already arrive in chain order (workload
+	// generators emit them sorted).
 	sorted := make([]*chain.Record, len(recs))
 	copy(sorted, recs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ref().Less(sorted[j].Ref()) })
+	if !refsAscending(sorted) {
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Ref().Less(sorted[j].Ref()) })
+	}
 	rel := &Relation{Recs: sorted, Sigs: make([]sigagg.Signature, len(sorted))}
 	for i, r := range sorted {
 		left, right := chain.MinRef, chain.MaxRef
@@ -74,6 +79,16 @@ func BuildRelation(scheme sigagg.Scheme, priv sigagg.PrivateKey, recs []*chain.R
 		rel.Sigs[i] = sig
 	}
 	return rel, nil
+}
+
+// refsAscending reports whether recs are already in (Key, RID) order.
+func refsAscending(recs []*chain.Record) bool {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Ref().Less(recs[i-1].Ref()) {
+			return false
+		}
+	}
+	return true
 }
 
 // Keys returns the (non-distinct) join-attribute values in order.

@@ -233,6 +233,41 @@ func (s *Scheme) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
 	return s.encode(ax, ay), nil
 }
 
+// AggregateInto implements sigagg.BatchAggregator: each input is decoded
+// once, summed, and the result is encoded once into dst (reused when it
+// has capacity), instead of the decode/encode round-trip per pair that a
+// chain of Add calls performs.
+func (s *Scheme) AggregateInto(dst sigagg.Signature, sigs []sigagg.Signature) (sigagg.Signature, error) {
+	var ax, ay *big.Int
+	for _, sig := range sigs {
+		px, py, err := s.decode(sig)
+		if err != nil {
+			return nil, err
+		}
+		ax, ay = s.addPoints(ax, ay, px, py)
+	}
+	return s.encodeInto(dst, ax, ay), nil
+}
+
+// encodeInto writes the compressed encoding of (x, y) into dst when it
+// has capacity, allocating otherwise.
+func (s *Scheme) encodeInto(dst sigagg.Signature, x, y *big.Int) sigagg.Signature {
+	size := s.SignatureSize()
+	if cap(dst) < size {
+		dst = make(sigagg.Signature, size)
+	}
+	dst = dst[:size]
+	if x == nil || (x.Sign() == 0 && y.Sign() == 0) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	dst[0] = byte(2 + y.Bit(0)) // compressed-point tag: 02 even y, 03 odd y
+	x.FillBytes(dst[1:])
+	return dst
+}
+
 // Add implements sigagg.Scheme.
 func (s *Scheme) Add(agg, sig sigagg.Signature) (sigagg.Signature, error) {
 	ax, ay, err := s.decode(agg)

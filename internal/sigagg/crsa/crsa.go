@@ -232,6 +232,29 @@ func (b *Bound) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
 	return b.encode(acc), nil
 }
 
+// AggregateInto implements sigagg.BatchAggregator: the modular product
+// is accumulated in one big.Int and written into dst when it has
+// capacity, avoiding the per-pair encode/decode of chained Add calls.
+func (b *Bound) AggregateInto(dst sigagg.Signature, sigs []sigagg.Signature) (sigagg.Signature, error) {
+	acc := big.NewInt(1)
+	tmp := new(big.Int)
+	for _, sig := range sigs {
+		v, err := b.sigInt(sig)
+		if err != nil {
+			return nil, err
+		}
+		tmp.Mul(acc, v)
+		acc.Mod(tmp, b.n)
+	}
+	size := b.SignatureSize()
+	if cap(dst) < size {
+		dst = make(sigagg.Signature, size)
+	}
+	dst = dst[:size]
+	acc.FillBytes(dst)
+	return dst, nil
+}
+
 // Add folds sig into agg modulo n.
 func (b *Bound) Add(agg, sig sigagg.Signature) (sigagg.Signature, error) {
 	a, err := b.sigInt(agg)

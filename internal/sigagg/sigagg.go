@@ -73,6 +73,27 @@ type Scheme interface {
 	AggregateVerify(pub PublicKey, digests [][]byte, agg Signature) error
 }
 
+// BatchAggregator is an optional Scheme capability: AggregateInto
+// condenses sigs into one aggregate, reusing dst's storage for the
+// result when it has sufficient capacity. Compared with a chain of Add
+// calls it decodes each input exactly once and encodes exactly once,
+// and compared with Aggregate it avoids the per-call result allocation
+// — the two costs that dominate hot-path proof construction.
+type BatchAggregator interface {
+	AggregateInto(dst Signature, sigs []Signature) (Signature, error)
+}
+
+// AggregateInto condenses sigs through the scheme's batched path when it
+// has one, falling back to Aggregate. dst may be nil; the result may
+// alias dst's storage, so pass nil (or a scratch buffer) when the result
+// escapes to long-lived state.
+func AggregateInto(s Scheme, dst Signature, sigs []Signature) (Signature, error) {
+	if ba, ok := s.(BatchAggregator); ok {
+		return ba.AggregateInto(dst, sigs)
+	}
+	return s.Aggregate(sigs)
+}
+
 // Binder is implemented by schemes whose aggregation operations need the
 // signer's public parameters (e.g. the RSA modulus for condensed RSA).
 type Binder interface {

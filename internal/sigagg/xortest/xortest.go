@@ -92,6 +92,27 @@ func (s *Scheme) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
 	return acc, nil
 }
 
+// AggregateInto implements sigagg.BatchAggregator: XOR of all
+// signatures folded into dst when it has capacity.
+func (s *Scheme) AggregateInto(dst sigagg.Signature, sigs []sigagg.Signature) (sigagg.Signature, error) {
+	if cap(dst) < SigSize {
+		dst = make(sigagg.Signature, SigSize)
+	}
+	dst = dst[:SigSize]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, sig := range sigs {
+		if len(sig) != SigSize {
+			return nil, sigagg.ErrBadSignature
+		}
+		for i := range dst {
+			dst[i] ^= sig[i]
+		}
+	}
+	return dst, nil
+}
+
 // Add implements sigagg.Scheme.
 func (s *Scheme) Add(agg, sig sigagg.Signature) (sigagg.Signature, error) {
 	return s.Aggregate([]sigagg.Signature{agg, sig})

@@ -62,5 +62,5 @@ func bucket(q int) int {
 func (c *Cache) AutoAdmit(minLevel int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.admitLevel = minLevel
+	c.frontier.SetAdmitLevel(minLevel)
 }

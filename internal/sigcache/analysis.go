@@ -15,23 +15,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"authdb/internal/aggtree"
 )
 
 // Node identifies a signature-tree node Ti,j: Level i (0 = leaves,
-// log2(N) = root) and position j within the level.
-type Node struct {
-	Level int
-	Pos   int64
-}
-
-// String renders the paper's Ti,j notation.
-func (n Node) String() string { return fmt.Sprintf("T%d,%d", n.Level, n.Pos) }
-
-// Span returns the leaf interval [lo, hi] covered by the node.
-func (n Node) Span() (lo, hi int64) {
-	c := int64(1) << n.Level
-	return n.Pos * c, (n.Pos+1)*c - 1
-}
+// log2(N) = root) and position j within the level. It is an alias of
+// aggtree.Node, the structure that now owns the tree mechanics.
+type Node = aggtree.Node
 
 // Dist is a query-cardinality distribution: Dist(q) is proportional to
 // the probability that a query has cardinality q, for 1 <= q <= N.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"authdb/internal/aggtree"
 	"authdb/internal/sigagg"
 )
 
@@ -27,6 +28,13 @@ func (s Strategy) String() string {
 	return "eager"
 }
 
+func (s Strategy) policy() aggtree.RefreshPolicy {
+	if s == Lazy {
+		return aggtree.LazyRefresh
+	}
+	return aggtree.EagerRefresh
+}
+
 // Stats counts the cache's work in aggregation-equivalent operations
 // (each Add/Remove/combine is one ECC-addition-cost operation, the unit
 // of §4.1's savings model).
@@ -39,57 +47,32 @@ type Stats struct {
 	Updates    uint64
 }
 
-type delta struct {
-	old, new sigagg.Signature
-}
-
-type entry struct {
-	node     Node
-	sig      sigagg.Signature
-	pending  map[int64]delta // leaf index -> coalesced delta (lazy)
-	accesses uint64
-}
-
 // Cache holds the leaf signatures of a relation (in indexed-attribute
 // position order) plus a set of pinned aggregate signatures, and builds
-// range aggregates using the cheapest available cover.
+// range aggregates using the cheapest available cover. The tree
+// mechanics live in aggtree.Frontier; Cache adds the paper's policies
+// (Algorithm 1 selection via Analyzer, §4.2 admission and revision) and
+// the cost accounting.
 type Cache struct {
-	mu         sync.Mutex // serializes all operations: lazy refreshes mutate on the query path
-	scheme     sigagg.Scheme
-	n          int64
-	levels     int
-	leaves     []sigagg.Signature
-	entries    map[Node]*entry
-	strategy   Strategy
-	stats      Stats
-	admitLevel int // >0: auto-admit computed blocks at this level or above (§4.2)
+	mu       sync.Mutex // serializes all operations: lazy refreshes mutate on the query path
+	scheme   sigagg.Scheme
+	frontier *aggtree.Frontier
+	strategy Strategy
+	stats    Stats
 }
 
 // NewCache creates a cache over the given leaf signatures (length a
 // power of two).
 func NewCache(scheme sigagg.Scheme, leaves []sigagg.Signature, strategy Strategy) (*Cache, error) {
-	n := int64(len(leaves))
-	if n < 2 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("sigcache: leaf count must be a power of two >= 2, got %d", n)
+	f, err := aggtree.NewFrontier(scheme, leaves, strategy.policy())
+	if err != nil {
+		return nil, fmt.Errorf("sigcache: %w", err)
 	}
-	levels := 0
-	for v := n; v > 1; v >>= 1 {
-		levels++
-	}
-	own := make([]sigagg.Signature, n)
-	copy(own, leaves)
-	return &Cache{
-		scheme:   scheme,
-		n:        n,
-		levels:   levels,
-		leaves:   own,
-		entries:  map[Node]*entry{},
-		strategy: strategy,
-	}, nil
+	return &Cache{scheme: scheme, frontier: f, strategy: strategy}, nil
 }
 
 // N returns the number of leaves.
-func (c *Cache) N() int64 { return c.n }
+func (c *Cache) N() int64 { return c.frontier.N() }
 
 // Stats returns a snapshot of the accumulated counters.
 func (c *Cache) Stats() Stats {
@@ -109,14 +92,14 @@ func (c *Cache) ResetStats() {
 func (c *Cache) CachedBytes() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries) * c.scheme.SignatureSize()
+	return c.frontier.PinnedCount() * c.scheme.SignatureSize()
 }
 
 // Len returns the number of pinned aggregates.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.frontier.PinnedCount()
 }
 
 // Pin materializes and pins the aggregate signatures for the given
@@ -127,19 +110,12 @@ func (c *Cache) Pin(nodes []Node) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, n := range nodes {
-		if n.Level < 1 || n.Level > c.levels || n.Pos < 0 || n.Pos >= c.n>>n.Level {
-			return fmt.Errorf("sigcache: node %v out of range", n)
-		}
-		if _, ok := c.entries[n]; ok {
-			continue
-		}
-		lo, hi := n.Span()
-		sig, ops, err := c.cover(Node{Level: c.levels, Pos: 0}, lo, hi, false)
-		if err != nil {
-			return err
-		}
+		ops, refreshOps, err := c.frontier.Pin(n)
 		c.stats.PinOps += uint64(ops)
-		c.entries[n] = &entry{node: n, sig: sig, pending: map[int64]delta{}}
+		c.stats.RefreshOps += uint64(refreshOps)
+		if err != nil {
+			return fmt.Errorf("sigcache: %w", err)
+		}
 	}
 	return nil
 }
@@ -148,7 +124,7 @@ func (c *Cache) Pin(nodes []Node) error {
 func (c *Cache) Unpin(n Node) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.entries, n)
+	c.frontier.Unpin(n)
 }
 
 // AggregateRange builds the aggregate signature over leaves [lo, hi]
@@ -156,157 +132,54 @@ func (c *Cache) Unpin(n Node) {
 // signature and the number of aggregation operations spent (the §4
 // cost unit).
 func (c *Cache) AggregateRange(lo, hi int64) (sigagg.Signature, int, error) {
-	if lo < 0 || hi >= c.n || lo > hi {
-		return nil, 0, fmt.Errorf("sigcache: bad range [%d,%d] over %d leaves", lo, hi, c.n)
+	if lo < 0 || hi >= c.frontier.N() || lo > hi {
+		return nil, 0, fmt.Errorf("sigcache: bad range [%d,%d] over %d leaves", lo, hi, c.frontier.N())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Queries++
-	sig, ops, err := c.cover(Node{Level: c.levels, Pos: 0}, lo, hi, true)
+	sig, st, err := c.frontier.Cover(lo, hi, true)
 	if err != nil {
 		return nil, 0, err
 	}
-	c.stats.QueryOps += uint64(ops)
-	return sig, ops, nil
+	c.stats.QueryOps += uint64(st.Ops)
+	c.stats.RefreshOps += uint64(st.RefreshOps)
+	c.stats.Hits += uint64(st.Hits)
+	return sig, st.Ops, nil
 }
 
-// cover recursively builds the aggregate of node ∩ [lo, hi]. When
-// countHit is set, cache usage statistics are recorded.
-func (c *Cache) cover(node Node, lo, hi int64, countHit bool) (sigagg.Signature, int, error) {
-	nlo, nhi := node.Span()
-	if nhi < lo || nlo > hi {
-		return nil, 0, nil
+// EstimateOps reports what AggregateRange(lo, hi) would cost right now
+// in aggregation operations, without performing any — used by the query
+// server to take the cache only when it beats the aggregation tree.
+func (c *Cache) EstimateOps(lo, hi int64) (int, error) {
+	if lo < 0 || hi >= c.frontier.N() || lo > hi {
+		return 0, fmt.Errorf("sigcache: bad range [%d,%d] over %d leaves", lo, hi, c.frontier.N())
 	}
-	if lo <= nlo && nhi <= hi {
-		// Fully covered: use the pinned aggregate if present.
-		if e, ok := c.entries[node]; ok {
-			refreshOps, err := c.refresh(e)
-			if err != nil {
-				return nil, 0, err
-			}
-			if countHit {
-				c.stats.Hits++
-				e.accesses++
-			}
-			return e.sig, refreshOps, nil
-		}
-		if node.Level == 0 {
-			return c.leaves[nlo], 0, nil
-		}
-	}
-	if node.Level == 0 {
-		return c.leaves[nlo], 0, nil
-	}
-	left := Node{Level: node.Level - 1, Pos: node.Pos * 2}
-	right := Node{Level: node.Level - 1, Pos: node.Pos*2 + 1}
-	lsig, lops, err := c.cover(left, lo, hi, countHit)
-	if err != nil {
-		return nil, 0, err
-	}
-	rsig, rops, err := c.cover(right, lo, hi, countHit)
-	if err != nil {
-		return nil, 0, err
-	}
-	ops := lops + rops
-	switch {
-	case lsig == nil:
-		return rsig, ops, nil
-	case rsig == nil:
-		return lsig, ops, nil
-	default:
-		sum, err := c.scheme.Add(lsig, rsig)
-		if err != nil {
-			return nil, 0, err
-		}
-		ops++
-		// Adaptive admission (§4.2): keep block aggregates computed on
-		// the query path so later queries reuse them.
-		if countHit && c.admitLevel > 0 && node.Level >= c.admitLevel &&
-			lo <= nlo && nhi <= hi {
-			if _, cached := c.entries[node]; !cached {
-				c.entries[node] = &entry{node: node, sig: sum, pending: map[int64]delta{}}
-			}
-		}
-		return sum, ops, nil
-	}
-}
-
-// refresh applies any pending lazy deltas to a cached entry, returning
-// the operations spent.
-func (c *Cache) refresh(e *entry) (int, error) {
-	if len(e.pending) == 0 {
-		return 0, nil
-	}
-	ops := 0
-	for _, d := range e.pending {
-		var err error
-		e.sig, err = c.scheme.Remove(e.sig, d.old)
-		if err != nil {
-			return ops, err
-		}
-		e.sig, err = c.scheme.Add(e.sig, d.new)
-		if err != nil {
-			return ops, err
-		}
-		ops += 2
-	}
-	e.pending = map[int64]delta{}
-	c.stats.RefreshOps += uint64(ops)
-	return ops, nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frontier.CoverOps(lo, hi), nil
 }
 
 // UpdateLeaf installs a new signature for leaf idx and maintains the
 // affected cached aggregates per the configured strategy. It returns
 // the aggregation operations spent inside the update (zero under Lazy).
 func (c *Cache) UpdateLeaf(idx int64, sig sigagg.Signature) (int, error) {
-	if idx < 0 || idx >= c.n {
+	if idx < 0 || idx >= c.frontier.N() {
 		return 0, fmt.Errorf("sigcache: leaf %d out of range", idx)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Updates++
-	old := c.leaves[idx]
-	c.leaves[idx] = sig
-	ops := 0
-	for l, pos := 1, idx>>1; l <= c.levels; l, pos = l+1, pos>>1 {
-		e, ok := c.entries[Node{Level: l, Pos: pos}]
-		if !ok {
-			continue
-		}
-		if c.strategy == Eager {
-			// Apply any older pending deltas first (strategy switches).
-			if _, err := c.refresh(e); err != nil {
-				return ops, err
-			}
-			var err error
-			e.sig, err = c.scheme.Remove(e.sig, old)
-			if err != nil {
-				return ops, err
-			}
-			e.sig, err = c.scheme.Add(e.sig, sig)
-			if err != nil {
-				return ops, err
-			}
-			ops += 2
-		} else {
-			// Coalesce: repeated updates to one leaf cost a single
-			// remove/add pair at refresh time.
-			if d, ok := e.pending[idx]; ok {
-				e.pending[idx] = delta{old: d.old, new: sig}
-			} else {
-				e.pending[idx] = delta{old: old, new: sig}
-			}
-		}
-	}
-	c.stats.RefreshOps += uint64(ops)
-	return ops, nil
+	ops, staleOps, err := c.frontier.UpdateLeaf(idx, sig)
+	c.stats.RefreshOps += uint64(ops + staleOps)
+	return ops, err
 }
 
 // Leaf returns the current signature of leaf idx.
 func (c *Cache) Leaf(idx int64) sigagg.Signature {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.leaves[idx]
+	return c.frontier.Leaf(idx)
 }
 
 // AccessCounts returns the per-node access counters, for the adaptive
@@ -314,9 +187,10 @@ func (c *Cache) Leaf(idx int64) sigagg.Signature {
 func (c *Cache) AccessCounts() map[Node]uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make(map[Node]uint64, len(c.entries))
-	for n, e := range c.entries {
-		out[n] = e.accesses
+	acc := c.frontier.Accesses()
+	out := make(map[Node]uint64, len(acc))
+	for _, na := range acc {
+		out[na.Node] = na.Count
 	}
 	return out
 }
@@ -327,26 +201,17 @@ func (c *Cache) AccessCounts() map[Node]uint64 {
 func (c *Cache) Revise(minAccesses uint64, maxNodes int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	type na struct {
-		n Node
-		a uint64
-	}
-	var all []na
-	for n, e := range c.entries {
-		all = append(all, na{n, e.accesses})
-	}
+	all := c.frontier.Accesses()
 	// Selection by access count, descending.
 	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && all[j].a > all[j-1].a; j-- {
+		for j := i; j > 0 && all[j].Count > all[j-1].Count; j-- {
 			all[j], all[j-1] = all[j-1], all[j]
 		}
 	}
 	for i, x := range all {
-		if x.a < minAccesses || (maxNodes > 0 && i >= maxNodes) {
-			delete(c.entries, x.n)
+		if x.Count < minAccesses || (maxNodes > 0 && i >= maxNodes) {
+			c.frontier.Unpin(x.Node)
 		}
 	}
-	for _, e := range c.entries {
-		e.accesses = 0
-	}
+	c.frontier.ResetAccesses()
 }

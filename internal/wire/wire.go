@@ -14,12 +14,40 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"authdb/internal/chain"
 	"authdb/internal/core"
 	"authdb/internal/freshness"
 	"authdb/internal/sigagg"
 )
+
+// bufPool recycles encode buffers so steady-state senders allocate
+// nothing per message. Buffers that grew beyond maxPooled are dropped
+// rather than pinned in the pool.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+const maxPooled = 1 << 20
+
+// GetBuffer returns an empty pooled buffer for the Append* encoders.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer recycles a buffer previously returned by GetBuffer or an
+// Append* encoder. The caller must not use buf afterwards.
+func PutBuffer(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooled {
+		return
+	}
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
 
 // Version is the wire-format version byte.
 const Version = 1
@@ -186,9 +214,17 @@ func getSummary(r *reader) (freshness.Summary, error) {
 
 // ---- UpdateMsg (DA -> query server) ----
 
-// EncodeUpdateMsg serializes a dissemination message.
+// EncodeUpdateMsg serializes a dissemination message into a fresh
+// buffer. Hot paths should prefer AppendUpdateMsg with a pooled buffer.
 func EncodeUpdateMsg(msg *core.UpdateMsg) []byte {
-	w := &writer{buf: make([]byte, 0, 256)}
+	return AppendUpdateMsg(make([]byte, 0, 256), msg)
+}
+
+// AppendUpdateMsg appends the encoding of msg to buf (obtained from
+// GetBuffer to avoid per-message allocations) and returns the extended
+// buffer.
+func AppendUpdateMsg(buf []byte, msg *core.UpdateMsg) []byte {
+	w := &writer{buf: buf}
 	w.u8(Version)
 	w.u8('U')
 	w.i64(msg.TS)
@@ -274,12 +310,20 @@ func DecodeUpdateMsg(data []byte) (*core.UpdateMsg, error) {
 
 // ---- Answer (query server -> user) ----
 
-// EncodeAnswer serializes a verifiable query answer.
+// EncodeAnswer serializes a verifiable query answer into a fresh
+// buffer. Hot paths should prefer AppendAnswer with a pooled buffer.
 func EncodeAnswer(ans *core.Answer) ([]byte, error) {
+	return AppendAnswer(make([]byte, 0, 512), ans)
+}
+
+// AppendAnswer appends the encoding of ans to buf (obtained from
+// GetBuffer to avoid per-answer allocations) and returns the extended
+// buffer.
+func AppendAnswer(buf []byte, ans *core.Answer) ([]byte, error) {
 	if ans == nil || ans.Chain == nil {
 		return nil, fmt.Errorf("wire: nil answer")
 	}
-	w := &writer{buf: make([]byte, 0, 512)}
+	w := &writer{buf: buf}
 	w.u8(Version)
 	w.u8('A')
 	ca := ans.Chain

@@ -12,7 +12,7 @@ import (
 )
 
 // system builds a loaded core.System for end-to-end wire tests.
-func system(t *testing.T, n int) *core.System {
+func system(t testing.TB, n int) *core.System {
 	t.Helper()
 	sys, err := core.NewSystem(bas.New(0), core.DefaultConfig())
 	if err != nil {
