@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof clean
+.PHONY: all build test race vet bench proof ingest clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core ./internal/aggtree ./internal/sigcache
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,10 @@ bench:
 proof:
 	$(GO) run ./cmd/authbench proof -n $(BENCH_N) -k 10000
 
+# Emit BENCH_ingest.json (pipelined vs serial signing, batch verification).
+ingest:
+	$(GO) run ./cmd/authbench ingest -n $(BENCH_N)
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json
+	rm -f BENCH_proof.json BENCH_ingest.json

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb/internal/core"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+	"authdb/internal/sigagg/crsa"
+)
+
+// ingestPoint is one serial-vs-pipelined Load measurement.
+type ingestPoint struct {
+	Scheme               string  `json:"scheme"`
+	N                    int     `json:"n"`
+	SerialNsPerRecord    int64   `json:"serial_ns_per_record"`
+	PipelinedNsPerRecord int64   `json:"pipelined_ns_per_record"`
+	Speedup              float64 `json:"speedup"`
+	SignaturesIdentical  bool    `json:"signatures_identical"`
+	AnswersVerified      bool    `json:"answers_verified"`
+}
+
+// verifyPoint is one serial-vs-batched VerifyAnswer(s) throughput
+// measurement.
+type verifyPoint struct {
+	Scheme              string  `json:"scheme"`
+	Answers             int     `json:"answers"`
+	RecordsPerAnswer    int     `json:"records_per_answer"`
+	SerialAnswersPerSec float64 `json:"serial_answers_per_sec"`
+	BatchAnswersPerSec  float64 `json:"batch_answers_per_sec"`
+	Speedup             float64 `json:"speedup"`
+}
+
+// ingestResult is the BENCH_ingest.json document, extending the perf
+// trajectory started by BENCH_proof.json to the owner (signing) and
+// verifier (batch verification) sides of the protocol.
+type ingestResult struct {
+	Workers int           `json:"workers"`
+	Points  []ingestPoint `json:"points"`
+	Verify  []verifyPoint `json:"verify"`
+}
+
+// runIngest measures DataAggregator.Load through the signing pipeline
+// against the WithSerialSigning baseline, and Verifier.VerifyAnswers
+// against per-answer VerifyAnswer, writing BENCH_ingest.json. Every
+// pipelined signature is checked byte-identical to its serial
+// counterpart AND round-tripped through Verifier.VerifyAnswer via a
+// full-coverage query sweep.
+func runIngest(args []string) error {
+	fs := newFlags("ingest")
+	nList := fs.String("n", "100000", "comma-separated relation sizes")
+	schemes := fs.String("schemes", "bas,crsa", "comma-separated schemes (bas, crsa)")
+	answers := fs.Int("answers", 128, "answers per verification batch")
+	k := fs.Int("k", 20, "records per verified answer (small answers: the many-users regime batching targets)")
+	short := fs.Bool("short", false, "CI smoke mode: small n, few answers")
+	out := fs.String("out", "BENCH_ingest.json", "output JSON path (empty to skip)")
+	check := fs.String("check", "", "validate an existing BENCH_ingest.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *check != "" {
+		return checkIngestJSON(*check)
+	}
+	if *short {
+		*nList, *answers, *k = "5000", 16, 10
+	}
+
+	res := ingestResult{Workers: runtime.GOMAXPROCS(0)}
+	for _, name := range strings.Split(*schemes, ",") {
+		var raw sigagg.Scheme
+		switch strings.TrimSpace(name) {
+		case "bas":
+			raw = bas.New(0)
+		case "crsa":
+			raw = crsa.New(crsa.DefaultBits)
+		default:
+			return fmt.Errorf("ingest: unknown scheme %q", name)
+		}
+		for _, ns := range strings.Split(*nList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(ns))
+			if err != nil || n < 2 {
+				return fmt.Errorf("ingest: bad relation size %q", ns)
+			}
+			pt, vp, err := measureIngest(raw, n, *answers, *k)
+			if err != nil {
+				return err
+			}
+			res.Points = append(res.Points, pt)
+			res.Verify = append(res.Verify, vp)
+		}
+	}
+
+	fmt.Printf("ingest: %d workers\n", res.Workers)
+	for _, p := range res.Points {
+		fmt.Printf("  load   %-5s n=%-8d serial %8d ns/rec  pipelined %8d ns/rec  speedup %.2fx  verified=%v\n",
+			p.Scheme, p.N, p.SerialNsPerRecord, p.PipelinedNsPerRecord, p.Speedup, p.AnswersVerified)
+	}
+	for _, v := range res.Verify {
+		fmt.Printf("  verify %-5s %d answers x %d recs: serial %8.1f ans/s  batch %8.1f ans/s  speedup %.2fx\n",
+			v.Scheme, v.Answers, v.RecordsPerAnswer, v.SerialAnswersPerSec, v.BatchAnswersPerSec, v.Speedup)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("ingest: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// ingestRecords builds a fresh record slice (Load assigns rids, so each
+// measurement needs its own copies).
+func ingestRecords(n int) []*core.Record {
+	recs := make([]*core.Record, n)
+	for i := range recs {
+		recs[i] = &core.Record{Key: int64(i+1) * 10, Attrs: [][]byte{[]byte("payload")}}
+	}
+	return recs
+}
+
+func measureIngest(raw sigagg.Scheme, n, answers, k int) (ingestPoint, verifyPoint, error) {
+	var pt ingestPoint
+	var vp verifyPoint
+	priv, pub, err := raw.KeyGen(nil)
+	if err != nil {
+		return pt, vp, err
+	}
+	bound, err := sigagg.Bind(raw, pub)
+	if err != nil {
+		return pt, vp, err
+	}
+	cfg := core.DefaultConfig()
+
+	fmt.Printf("ingest: %s n=%d serial load...\n", raw.Name(), n)
+	serialDA, err := core.NewDataAggregator(bound, priv, cfg, core.WithSerialSigning())
+	if err != nil {
+		return pt, vp, err
+	}
+	start := time.Now()
+	serialMsg, err := serialDA.Load(ingestRecords(n), 1)
+	if err != nil {
+		return pt, vp, err
+	}
+	serialNs := time.Since(start).Nanoseconds()
+
+	fmt.Printf("ingest: %s n=%d pipelined load...\n", raw.Name(), n)
+	pipeDA, err := core.NewDataAggregator(bound, priv, cfg)
+	if err != nil {
+		return pt, vp, err
+	}
+	start = time.Now()
+	pipeMsg, err := pipeDA.Load(ingestRecords(n), 1)
+	if err != nil {
+		return pt, vp, err
+	}
+	pipeNs := time.Since(start).Nanoseconds()
+
+	// The pipeline must emit exactly the serial baseline's signatures
+	// (both schemes are deterministic).
+	identical := len(serialMsg.Upserts) == len(pipeMsg.Upserts)
+	for i := 0; identical && i < len(serialMsg.Upserts); i++ {
+		identical = string(serialMsg.Upserts[i].Sig) == string(pipeMsg.Upserts[i].Sig)
+	}
+	if !identical {
+		return pt, vp, fmt.Errorf("ingest: %s pipelined signatures differ from serial baseline", raw.Name())
+	}
+
+	// Round-trip every signature through Verifier.VerifyAnswer: a
+	// full-coverage sweep of chunked range queries over the pipelined
+	// load, batch-verified.
+	qs := core.NewQueryServer(bound)
+	if err := qs.Apply(pipeMsg); err != nil {
+		return pt, vp, err
+	}
+	verifier := core.NewVerifier(bound, pub, cfg)
+	var sweep []*core.Answer
+	var ranges []core.Range
+	verified := 0
+	for lo := 0; lo < n; lo += k {
+		hi := lo + k
+		if hi > n {
+			hi = n
+		}
+		r := core.Range{Lo: int64(lo+1) * 10, Hi: int64(hi) * 10}
+		ans, err := qs.Query(r.Lo, r.Hi)
+		if err != nil {
+			return pt, vp, err
+		}
+		verified += len(ans.Chain.Records)
+		sweep = append(sweep, ans)
+		ranges = append(ranges, r)
+	}
+	if verified != n {
+		return pt, vp, fmt.Errorf("ingest: sweep covered %d of %d records", verified, n)
+	}
+	if _, err := verifier.VerifyAnswers(sweep, ranges, 5); err != nil {
+		return pt, vp, fmt.Errorf("ingest: full-coverage verification failed: %w", err)
+	}
+
+	pt = ingestPoint{
+		Scheme:               raw.Name(),
+		N:                    n,
+		SerialNsPerRecord:    serialNs / int64(n),
+		PipelinedNsPerRecord: pipeNs / int64(n),
+		Speedup:              float64(serialNs) / float64(pipeNs),
+		SignaturesIdentical:  true,
+		AnswersVerified:      true,
+	}
+
+	// Verification throughput: the same answers checked one at a time
+	// vs in one batched call — best of three passes each, so a stray
+	// scheduling hiccup does not decide the comparison. Small answers
+	// are the regime batching targets (heavy point/short-range traffic,
+	// where the per-answer modexp / scalar multiplication dominates).
+	if answers > len(sweep) {
+		answers = len(sweep)
+	}
+	batch, batchRanges := sweep[:answers], ranges[:answers]
+	const passes = 3
+	var serialVerifyNs, batchVerifyNs int64
+	for p := 0; p < passes; p++ {
+		serialV := core.NewVerifier(bound, pub, cfg)
+		serialV.SetParallelism(1)
+		start = time.Now()
+		for i, ans := range batch {
+			if _, err := serialV.VerifyAnswer(ans, batchRanges[i].Lo, batchRanges[i].Hi, 5); err != nil {
+				return pt, vp, err
+			}
+		}
+		if ns := time.Since(start).Nanoseconds(); p == 0 || ns < serialVerifyNs {
+			serialVerifyNs = ns
+		}
+		batchV := core.NewVerifier(bound, pub, cfg)
+		start = time.Now()
+		if _, err := batchV.VerifyAnswers(batch, batchRanges, 5); err != nil {
+			return pt, vp, err
+		}
+		if ns := time.Since(start).Nanoseconds(); p == 0 || ns < batchVerifyNs {
+			batchVerifyNs = ns
+		}
+	}
+	vp = verifyPoint{
+		Scheme:              raw.Name(),
+		Answers:             answers,
+		RecordsPerAnswer:    k,
+		SerialAnswersPerSec: float64(answers) / (float64(serialVerifyNs) / 1e9),
+		BatchAnswersPerSec:  float64(answers) / (float64(batchVerifyNs) / 1e9),
+		Speedup:             float64(serialVerifyNs) / float64(batchVerifyNs),
+	}
+	return pt, vp, nil
+}
+
+// checkIngestJSON validates that a BENCH_ingest.json is well-formed:
+// parseable, at least one load point and one verify point, positive
+// timings, and every point verified. Used by the CI smoke step.
+func checkIngestJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res ingestResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return fmt.Errorf("ingest: %s is not valid JSON: %w", path, err)
+	}
+	if res.Workers < 1 {
+		return fmt.Errorf("ingest: %s: workers %d < 1", path, res.Workers)
+	}
+	if len(res.Points) == 0 || len(res.Verify) == 0 {
+		return fmt.Errorf("ingest: %s: missing load or verify points", path)
+	}
+	for _, p := range res.Points {
+		if p.SerialNsPerRecord <= 0 || p.PipelinedNsPerRecord <= 0 || p.Speedup <= 0 {
+			return fmt.Errorf("ingest: %s: non-positive timing in point %+v", path, p)
+		}
+		if !p.AnswersVerified || !p.SignaturesIdentical {
+			return fmt.Errorf("ingest: %s: unverified point %+v", path, p)
+		}
+	}
+	for _, v := range res.Verify {
+		if v.SerialAnswersPerSec <= 0 || v.BatchAnswersPerSec <= 0 {
+			return fmt.Errorf("ingest: %s: non-positive verify throughput %+v", path, v)
+		}
+	}
+	fmt.Printf("ingest: %s is well-formed (%d load points, %d verify points)\n",
+		path, len(res.Points), len(res.Verify))
+	return nil
+}

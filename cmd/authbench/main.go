@@ -8,7 +8,7 @@
 //	authbench <experiment> [flags]
 //
 // Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
-// fig11 proof all
+// fig11 proof ingest all
 //
 // Absolute numbers depend on the host; the substitutions versus the
 // paper's testbed are catalogued in DESIGN.md.
@@ -38,6 +38,7 @@ var experiments = []experiment{
 	{"fig10", "SigCache effectiveness vs cache size, Eager vs Lazy", runFig10},
 	{"fig11", "equi-join VO size: BV vs BF across α, m/IB, IB/p, selectivity", runFig11},
 	{"proof", "aggregation-tree vs linear proof construction (writes BENCH_proof.json)", runProof},
+	{"ingest", "pipelined vs serial signing & batch verification (writes BENCH_ingest.json)", runIngest},
 }
 
 func main() {

@@ -5,10 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
-	"authdb/internal/chain"
 	"authdb/internal/core"
 	"authdb/internal/sigagg"
 	"authdb/internal/sigagg/bas"
@@ -66,48 +64,19 @@ func runProof(args []string) error {
 	keys := make([]int64, *n)
 	for i := range recs {
 		keys[i] = int64(i+1) * 10
-		recs[i] = &core.Record{RID: uint64(i + 1), Key: keys[i], Attrs: [][]byte{[]byte("p")}, TS: 1}
+		recs[i] = &core.Record{RID: uint64(i + 1), Key: keys[i], Attrs: [][]byte{[]byte("p")}}
 	}
-	upserts := make([]core.SignedRecord, *n)
-	var wg sync.WaitGroup
-	var signErr error
-	var errOnce sync.Once
-	workers := runtime.GOMAXPROCS(0)
-	chunk := (*n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > *n {
-			hi = *n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				left, right := chain.MinRef, chain.MaxRef
-				if i > 0 {
-					left = recs[i-1].Ref()
-				}
-				if i < *n-1 {
-					right = recs[i+1].Ref()
-				}
-				d := chain.Digest(recs[i], left, right)
-				sig, err := bound.Sign(priv, d[:])
-				if err != nil {
-					errOnce.Do(func() { signErr = err })
-					return
-				}
-				upserts[i] = core.SignedRecord{Rec: recs[i], Sig: sig}
-			}
-		}(lo, hi)
+	// The DA's signing pipeline replaces the hand-rolled parallel loop
+	// this command used to carry: digests fan out to the pool and the
+	// B+-tree is bulk-loaded (see authbench ingest for the measurement).
+	da, err := core.NewDataAggregator(bound, priv, core.DefaultConfig())
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-	if signErr != nil {
-		return signErr
+	msg, err := da.Load(recs, 1)
+	if err != nil {
+		return err
 	}
-	msg := &core.UpdateMsg{TS: 1, Upserts: upserts}
 	treeQS := core.NewQueryServer(bound)
 	if err := treeQS.Apply(msg); err != nil {
 		return err

@@ -1,0 +1,148 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+)
+
+// signedAnswer builds a valid chained answer of n records starting at
+// key base (step 10).
+func signedAnswer(t *testing.T, scheme sigagg.Scheme, priv sigagg.PrivateKey, base int64, n int) *Answer {
+	t.Helper()
+	recs := make([]*Record, n)
+	for i := range recs {
+		recs[i] = &Record{
+			RID:   uint64(base) + uint64(i+1),
+			Key:   base + int64(i)*10,
+			Attrs: [][]byte{[]byte(fmt.Sprintf("v-%d", i))},
+			TS:    7,
+		}
+	}
+	a := &Answer{
+		Lo:      base,
+		Hi:      base + int64(n-1)*10,
+		Records: recs,
+		Left:    Ref{Key: base - 10, RID: uint64(base)},
+		Right:   Ref{Key: base + int64(n)*10, RID: uint64(base) + uint64(n+1)},
+	}
+	sigs := make([]sigagg.Signature, n)
+	for i, d := range a.Digests() {
+		sig, err := scheme.Sign(priv, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigs[i] = sig
+	}
+	agg, err := scheme.Aggregate(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Agg = agg
+	return a
+}
+
+func TestDigestsParallelMatchesSerial(t *testing.T) {
+	scheme := bas.New(0)
+	priv, _, err := scheme.KeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large enough to cross the digestChunk threshold.
+	a := signedAnswer(t, scheme, priv, 1000, 3*digestChunk+17)
+	want := a.Digests()
+	for _, par := range []int{1, 2, 7} {
+		got := a.DigestsParallel(par)
+		if len(got) != len(want) {
+			t.Fatalf("par=%d: %d digests, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(want[i], got[i]) {
+				t.Fatalf("par=%d: digest %d differs", par, i)
+			}
+		}
+	}
+}
+
+func TestVerifyBatchAcceptsValidAnswers(t *testing.T) {
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := []*Answer{
+		signedAnswer(t, scheme, priv, 1000, 8),
+		signedAnswer(t, scheme, priv, 5000, 1),
+		signedAnswer(t, scheme, priv, 9000, 40),
+	}
+	for _, par := range []int{1, 4} {
+		if err := VerifyBatch(scheme, pub, answers, par); err != nil {
+			t.Fatalf("par=%d: valid batch rejected: %v", par, err)
+		}
+	}
+	if err := VerifyBatch(scheme, pub, nil, 4); err != nil {
+		t.Fatalf("empty batch rejected: %v", err)
+	}
+}
+
+func TestVerifyBatchRejectsTamperedAnswer(t *testing.T) {
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() []*Answer {
+		return []*Answer{
+			signedAnswer(t, scheme, priv, 1000, 8),
+			signedAnswer(t, scheme, priv, 5000, 12),
+		}
+	}
+
+	// Tampered record content.
+	answers := fresh()
+	answers[1].Records[3].Attrs = [][]byte{[]byte("forged")}
+	if err := VerifyBatch(scheme, pub, answers, 4); !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("tampered record: want ErrVerify, got %v", err)
+	}
+
+	// Dropped record (completeness violation caught by the signature).
+	answers = fresh()
+	answers[0].Records = append(answers[0].Records[:2], answers[0].Records[3:]...)
+	if err := VerifyBatch(scheme, pub, answers, 4); !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("dropped record: want ErrVerify, got %v", err)
+	}
+
+	// Structural violation: boundary inside the range.
+	answers = fresh()
+	answers[0].Left.Key = answers[0].Lo
+	if err := VerifyBatch(scheme, pub, answers, 4); !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("bad boundary: want ErrVerify, got %v", err)
+	}
+
+	// Nil member.
+	answers = fresh()
+	answers[1] = nil
+	if err := VerifyBatch(scheme, pub, answers, 4); !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("nil answer: want ErrVerify, got %v", err)
+	}
+}
+
+// TestVerifyBatchMatchesVerify: a batch of one is exactly Verify.
+func TestVerifyBatchMatchesVerify(t *testing.T) {
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := signedAnswer(t, scheme, priv, 1000, 5)
+	if err := Verify(scheme, pub, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBatch(scheme, pub, []*Answer{a}, 2); err != nil {
+		t.Fatal(err)
+	}
+}

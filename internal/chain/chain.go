@@ -13,6 +13,7 @@ package chain
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"authdb/internal/digest"
 	"authdb/internal/sigagg"
@@ -106,7 +107,15 @@ func (a *Answer) Digests() [][]byte {
 		return [][]byte{d[:]}
 	}
 	out := make([][]byte, len(a.Records))
-	for i, r := range a.Records {
+	a.digestInto(out, 0, len(a.Records))
+	return out
+}
+
+// digestInto fills out[lo:hi] with the chained digests of records
+// lo..hi-1. Each record's neighbour references come from the answer
+// itself, so disjoint chunks can be computed concurrently.
+func (a *Answer) digestInto(out [][]byte, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		left := a.Left
 		if i > 0 {
 			left = a.Records[i-1].Ref()
@@ -115,9 +124,27 @@ func (a *Answer) Digests() [][]byte {
 		if i < len(a.Records)-1 {
 			right = a.Records[i+1].Ref()
 		}
-		d := Digest(r, left, right)
+		d := Digest(a.Records[i], left, right)
 		out[i] = d[:]
 	}
+}
+
+// digestChunk is the records-per-work-item grain of the parallel digest
+// builder: large enough that goroutine handoff is negligible against
+// the hashing it covers, small enough to balance ragged answers.
+const digestChunk = 512
+
+// DigestsParallel reconstructs the chained digests using up to par
+// goroutines, falling back to the serial Digests for small answers.
+func (a *Answer) DigestsParallel(par int) [][]byte {
+	if par <= 1 || len(a.Records) < 2*digestChunk {
+		return a.Digests()
+	}
+	out := make([][]byte, len(a.Records))
+	sigagg.ForChunks(len(a.Records), par, digestChunk, func(lo, hi int) error {
+		a.digestInto(out, lo, hi)
+		return nil
+	})
 	return out
 }
 
@@ -138,6 +165,17 @@ func Verify(scheme sigagg.Scheme, pub sigagg.PublicKey, a *Answer) error {
 	if a == nil {
 		return fmt.Errorf("%w: nil answer", sigagg.ErrVerify)
 	}
+	if err := a.checkStructure(); err != nil {
+		return err
+	}
+	return scheme.AggregateVerify(pub, a.Digests(), a.Agg)
+}
+
+// checkStructure validates everything about the answer that needs no
+// cryptography: record ordering, range membership, boundary enclosure
+// and anchor placement. The aggregate signature then attests that
+// exactly this structure was certified.
+func (a *Answer) checkStructure() error {
 	lo, hi := a.Lo, a.Hi
 	if len(a.Records) == 0 {
 		// Empty answer: the anchor's chain edge must jump the whole
@@ -185,5 +223,45 @@ func Verify(scheme sigagg.Scheme, pub sigagg.PublicKey, a *Answer) error {
 			return fmt.Errorf("%w: right boundary %d not above range", sigagg.ErrVerify, a.Right.Key)
 		}
 	}
-	return scheme.AggregateVerify(pub, a.Digests(), a.Agg)
+	return nil
+}
+
+// VerifyBatch checks authenticity and completeness of many answers in
+// one pass: structural checks run per answer, the chained digests are
+// recomputed in parallel on up to par goroutines, and the aggregates
+// are verified through the scheme's batched primitives (one combined
+// number-theoretic check per worker chunk — see sigagg.BatchVerifier)
+// instead of one full verification per answer.
+//
+// An error means at least one answer is invalid; batch verification
+// attests the set without attributing the failure, so callers needing
+// the culprit fall back to Verify answer by answer.
+func VerifyBatch(scheme sigagg.Scheme, pub sigagg.PublicKey, answers []*Answer, par int) error {
+	if len(answers) == 0 {
+		return nil
+	}
+	for _, a := range answers {
+		if a == nil {
+			return fmt.Errorf("%w: nil answer", sigagg.ErrVerify)
+		}
+		if err := a.checkStructure(); err != nil {
+			return err
+		}
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	jobs := make([]sigagg.VerifyJob, len(answers))
+	if len(answers) == 1 {
+		// A single answer parallelizes inside its own digest list.
+		jobs[0] = sigagg.VerifyJob{Digests: answers[0].DigestsParallel(par), Agg: answers[0].Agg}
+	} else {
+		sigagg.ForChunks(len(answers), par, 1, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				jobs[i] = sigagg.VerifyJob{Digests: answers[i].Digests(), Agg: answers[i].Agg}
+			}
+			return nil
+		})
+	}
+	return sigagg.NewPool(scheme, par).VerifyAll(pub, jobs)
 }

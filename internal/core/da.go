@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -14,14 +15,27 @@ import (
 // DataAggregator is the trusted data owner: it maintains the relation,
 // chain-signs records, publishes ρ-period summaries, and renews aging
 // signatures (§3.1).
+//
+// Bulk operations — Load, ClosePeriod's re-certifications, RenewOld —
+// run through a signing pipeline: once the sorted order is fixed every
+// chained digest is known, so the digests are computed and signed on a
+// GOMAXPROCS worker pool (using the scheme's batch primitives, see
+// sigagg.BatchSigner) and the results are applied in one pass. The
+// pre-pipeline behaviour — one Sign per record on the calling
+// goroutine, one B+-tree probe per insertion — survives behind
+// WithSerialSigning as the reproducible baseline, mirroring
+// WithLinearAggregation on the query side.
 type DataAggregator struct {
 	scheme sigagg.Scheme
 	priv   sigagg.PrivateKey
 	cfg    Config
+	pool   *sigagg.Pool
+	serial bool // baseline: sign one record at a time, insert per record
 
 	index   *btree.Tree        // key -> (rid, current signature)
 	byRID   map[uint64]*Record // rid -> record content
 	certTS  map[uint64]int64   // rid -> last certification time
+	ages    certHeap           // lazy min-heap over certTS (see ageheap.go)
 	nextRID uint64
 
 	pub *freshness.Publisher
@@ -29,32 +43,65 @@ type DataAggregator struct {
 	// multiPending are slots updated more than once last period, due for
 	// re-certification this period (§3.1).
 	multiPending []int
+}
 
-	// renewCursor walks the rid space for the low-priority renewal
-	// process.
-	renewCursor uint64
+// DAOption configures a DataAggregator.
+type DAOption func(*DataAggregator)
+
+// WithSerialSigning reverts to the pre-pipeline baseline: every record
+// is signed one at a time on the calling goroutine with the scheme's
+// one-shot Sign, and loads insert into the B+-tree record by record.
+// Kept so perf comparisons against the pipelined path stay
+// reproducible (the ingest benchmark's serial column).
+func WithSerialSigning() DAOption {
+	return func(da *DataAggregator) { da.serial = true }
+}
+
+// WithSignWorkers caps the signing pool's goroutine fan-out (default
+// GOMAXPROCS; values below 1 are ignored).
+func WithSignWorkers(n int) DAOption {
+	return func(da *DataAggregator) {
+		if n >= 1 {
+			da.pool = sigagg.NewPool(da.scheme, n)
+		}
+	}
 }
 
 // NewDataAggregator creates an empty aggregator. The scheme must
 // already be bound (see sigagg.Bind) when it requires signer
 // parameters.
-func NewDataAggregator(scheme sigagg.Scheme, priv sigagg.PrivateKey, cfg Config) (*DataAggregator, error) {
+func NewDataAggregator(scheme sigagg.Scheme, priv sigagg.PrivateKey, cfg Config, opts ...DAOption) (*DataAggregator, error) {
 	if cfg.Rho <= 0 {
 		return nil, fmt.Errorf("core: non-positive ρ")
 	}
-	return &DataAggregator{
+	da := &DataAggregator{
 		scheme: scheme,
 		priv:   priv,
 		cfg:    cfg,
+		pool:   sigagg.NewPool(scheme, 0),
 		index:  btree.New(storage.DefaultPageConfig()),
 		byRID:  make(map[uint64]*Record),
 		certTS: make(map[uint64]int64),
 		pub:    freshness.NewPublisher(scheme, priv, 0, 0, 0),
-	}, nil
+	}
+	for _, o := range opts {
+		o(da)
+	}
+	if !da.serial {
+		// Summary certification rides the same pool, so it gets the
+		// scheme's batched signing path (e.g. CRT for condensed RSA).
+		da.pub.SetSigner(func(digest []byte) (sigagg.Signature, error) {
+			return da.pool.Sign(da.priv, digest)
+		})
+	}
+	return da, nil
 }
 
 // Len returns the relation cardinality.
 func (da *DataAggregator) Len() int { return da.index.Len() }
+
+// SignWorkers reports the signing pool's fan-out cap.
+func (da *DataAggregator) SignWorkers() int { return da.pool.Parallelism() }
 
 // keysAscending reports whether recs are already in non-descending key
 // order (duplicate detection happens during the load itself).
@@ -86,7 +133,7 @@ func (da *DataAggregator) signAt(rec *Record, left, right chain.Ref, ts int64, o
 		}
 	}
 	da.byRID[version.RID] = version
-	da.certTS[version.RID] = ts
+	da.certify(version.RID, ts)
 	da.pub.MarkUpdated(slot(version.RID))
 	*out = append(*out, SignedRecord{Rec: version, Sig: sig})
 	return nil
@@ -117,9 +164,61 @@ func (da *DataAggregator) resign(key int64, ts int64, out *[]SignedRecord) error
 	return da.signAt(rec, left, right, ts, out)
 }
 
+// resignBatch re-signs the records with the given keys at time ts
+// against their current neighbours. Re-signing never changes a key or
+// rid, so every chained digest is computable up front regardless of how
+// many batch members are neighbours of each other; the digests fan out
+// to the signing pool and the results are applied in one pass. The
+// serial baseline falls back to per-record resign.
+func (da *DataAggregator) resignBatch(keys []int64, ts int64, out *[]SignedRecord) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if da.serial || len(keys) == 1 {
+		for _, k := range keys {
+			if err := da.resign(k, ts, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	versions := make([]Record, len(keys))
+	lefts := make([]chain.Ref, len(keys))
+	rights := make([]chain.Ref, len(keys))
+	for i, k := range keys {
+		e, ok := da.index.Get(k)
+		if !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownKey, k)
+		}
+		rec := da.byRID[e.RID]
+		versions[i] = Record{RID: rec.RID, Key: rec.Key, Attrs: rec.Attrs, TS: ts}
+		lefts[i], rights[i] = da.neighbours(k)
+	}
+	sigs, err := da.pool.SignIndexed(da.priv, len(keys), func(i int) []byte {
+		return recordDigest(&versions[i], lefts[i], rights[i])
+	})
+	if err != nil {
+		return fmt.Errorf("core: batch re-sign: %w", err)
+	}
+	for i := range versions {
+		v := &versions[i]
+		da.index.Update(v.Key, sigs[i])
+		da.byRID[v.RID] = v
+		da.certify(v.RID, ts)
+		da.pub.MarkUpdated(slot(v.RID))
+		*out = append(*out, SignedRecord{Rec: v, Sig: sigs[i]})
+	}
+	return nil
+}
+
 // Load bulk-inserts the records (sorted or not; keys must be unique) at
 // time ts and returns the dissemination message carrying every signed
 // record. Typically called once to seed the query server.
+//
+// The pipelined path fixes the sorted order, computes every chained
+// digest (each record's neighbours are then known), signs them all on
+// the worker pool, and bulk-loads the B+-tree bottom-up in one sorted
+// pass. WithSerialSigning restores the per-record sign-and-insert loop.
 func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
 	sorted := recs
 	if !keysAscending(recs) {
@@ -140,19 +239,173 @@ func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
 		} else if rec.RID > da.nextRID {
 			da.nextRID = rec.RID
 		}
-		da.byRID[rec.RID] = rec
 	}
+	if da.index.Len() > 0 {
+		return da.mergeLoad(sorted, ts, msg)
+	}
+	if da.serial {
+		for i, rec := range sorted {
+			left, right := chain.MinRef, chain.MaxRef
+			if i > 0 {
+				left = sorted[i-1].Ref()
+			}
+			if i < len(sorted)-1 {
+				right = sorted[i+1].Ref()
+			}
+			if err := da.signAt(rec, left, right, ts, &msg.Upserts); err != nil {
+				return nil, err
+			}
+		}
+		return msg, nil
+	}
+
+	// Pipelined: versioned copies and their chained digests first …
+	n := len(sorted)
+	versions := make([]Record, n)
 	for i, rec := range sorted {
+		versions[i] = Record{RID: rec.RID, Key: rec.Key, Attrs: rec.Attrs, TS: ts}
+	}
+	sigs, err := da.pool.SignIndexed(da.priv, n, func(i int) []byte {
 		left, right := chain.MinRef, chain.MaxRef
 		if i > 0 {
 			left = sorted[i-1].Ref()
 		}
-		if i < len(sorted)-1 {
+		if i < n-1 {
 			right = sorted[i+1].Ref()
 		}
-		if err := da.signAt(rec, left, right, ts, &msg.Upserts); err != nil {
-			return nil, err
+		return recordDigest(&versions[i], left, right)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: pipelined load: %w", err)
+	}
+
+	// … then the index, built bottom-up in one sorted pass.
+	entries := make([]btree.Entry, n)
+	for i := range versions {
+		entries[i] = btree.Entry{Key: versions[i].Key, RID: versions[i].RID, Sig: sigs[i]}
+	}
+	idx, err := btree.BulkLoad(storage.DefaultPageConfig(), entries)
+	if err != nil {
+		return nil, fmt.Errorf("core: pipelined load: %w", err)
+	}
+	da.index = idx
+	msg.Upserts = make([]SignedRecord, n)
+	for i := range versions {
+		v := &versions[i]
+		da.byRID[v.RID] = v
+		da.certify(v.RID, ts)
+		da.pub.MarkUpdated(slot(v.RID))
+		msg.Upserts[i] = SignedRecord{Rec: v, Sig: sigs[i]}
+	}
+	return msg, nil
+}
+
+// mergeLoad chains a sorted batch into an already-populated relation:
+// every new record is signed against its true neighbours in the merged
+// key order, and the existing records adjacent to a new one are
+// re-signed (their chain references changed) — what Insert does one
+// record at a time, planned and signed as one batch. Keys already
+// present are rejected. Cost is O(b log N) index probes for a batch of
+// b against N stored records; the existing relation is never scanned
+// or materialized. (The seed signed such batches against
+// batch-internal neighbours only, producing chains that could never
+// verify next to pre-existing records.)
+func (da *DataAggregator) mergeLoad(sorted []*Record, ts int64, msg *UpdateMsg) (*UpdateMsg, error) {
+	b := len(sorted)
+	// batchNeighbours returns the nearest batch members around key (the
+	// batch is sorted, so two binary searches).
+	batchLeft := func(key int64) (chain.Ref, bool) {
+		i := sort.Search(b, func(j int) bool { return sorted[j].Key >= key })
+		if i == 0 {
+			return chain.Ref{}, false
 		}
+		return sorted[i-1].Ref(), true
+	}
+	batchRight := func(key int64) (chain.Ref, bool) {
+		i := sort.Search(b, func(j int) bool { return sorted[j].Key > key })
+		if i == b {
+			return chain.Ref{}, false
+		}
+		return sorted[i].Ref(), true
+	}
+	inBatch := func(key int64) bool {
+		i := sort.Search(b, func(j int) bool { return sorted[j].Key >= key })
+		return i < b && sorted[i].Key == key
+	}
+	// mergedNeighbours are the final neighbours of key: the nearer of
+	// the existing pred/succ and the adjacent batch members.
+	mergedNeighbours := func(key int64) (left, right chain.Ref) {
+		left, right = da.neighbours(key)
+		if l, ok := batchLeft(key); ok && l.Key > left.Key {
+			left = l
+		}
+		if r, ok := batchRight(key); ok && r.Key < right.Key {
+			right = r
+		}
+		return left, right
+	}
+
+	versions := make([]Record, 0, 3*b)
+	lefts := make([]chain.Ref, 0, 3*b)
+	rights := make([]chain.Ref, 0, 3*b)
+	fresh := make([]bool, 0, 3*b)
+	plan := func(rec *Record, isNew bool) {
+		left, right := mergedNeighbours(rec.Key)
+		versions = append(versions, Record{RID: rec.RID, Key: rec.Key, Attrs: rec.Attrs, TS: ts})
+		lefts = append(lefts, left)
+		rights = append(rights, right)
+		fresh = append(fresh, isNew)
+	}
+	resigned := make(map[int64]bool)
+	for _, rec := range sorted {
+		if _, exists := da.index.Get(rec.Key); exists {
+			return nil, fmt.Errorf("core: load key %d already present", rec.Key)
+		}
+		plan(rec, true)
+		// Existing records adjacent to this new one in the final order
+		// change their chain references; re-sign each such seam
+		// neighbour once.
+		left, right := lefts[len(lefts)-1], rights[len(rights)-1]
+		for _, nb := range []chain.Ref{left, right} {
+			if nb == chain.MinRef || nb == chain.MaxRef || resigned[nb.Key] || inBatch(nb.Key) {
+				continue
+			}
+			resigned[nb.Key] = true
+			plan(da.byRID[nb.RID], false)
+		}
+	}
+
+	var sigs []sigagg.Signature
+	var err error
+	if da.serial {
+		sigs = make([]sigagg.Signature, len(versions))
+		for t := range versions {
+			sigs[t], err = da.scheme.Sign(da.priv, recordDigest(&versions[t], lefts[t], rights[t]))
+			if err != nil {
+				break
+			}
+		}
+	} else {
+		sigs, err = da.pool.SignIndexed(da.priv, len(versions), func(t int) []byte {
+			return recordDigest(&versions[t], lefts[t], rights[t])
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: merge load: %w", err)
+	}
+	for t := range versions {
+		v := &versions[t]
+		if fresh[t] {
+			if err := da.index.Insert(btree.Entry{Key: v.Key, RID: v.RID, Sig: sigs[t]}); err != nil {
+				return nil, err
+			}
+		} else {
+			da.index.Update(v.Key, sigs[t])
+		}
+		da.byRID[v.RID] = v
+		da.certify(v.RID, ts)
+		da.pub.MarkUpdated(slot(v.RID))
+		msg.Upserts = append(msg.Upserts, SignedRecord{Rec: v, Sig: sigs[t]})
 	}
 	return msg, nil
 }
@@ -212,7 +465,7 @@ func (da *DataAggregator) Delete(key int64, ts int64) (*UpdateMsg, error) {
 	left, right := da.neighbours(key)
 	da.index.Delete(key)
 	delete(da.byRID, e.RID)
-	delete(da.certTS, e.RID)
+	delete(da.certTS, e.RID) // its heap entry is discarded lazily
 	da.pub.MarkUpdated(slot(e.RID))
 	msg := &UpdateMsg{TS: ts, Deletes: []uint64{e.RID}}
 	if left != chain.MinRef {
@@ -231,20 +484,22 @@ func (da *DataAggregator) Delete(key int64, ts int64) (*UpdateMsg, error) {
 // ClosePeriod certifies the current ρ-period's summary at time ts and
 // re-certifies the records that were updated multiple times during the
 // previous period (§3.1's multi-update rule). The returned message
-// carries the summary plus those re-signed records.
+// carries the summary plus those re-signed records, signed as one batch
+// through the pipeline.
 func (da *DataAggregator) ClosePeriod(ts int64) (*UpdateMsg, error) {
 	msg := &UpdateMsg{TS: ts}
 	// Re-certify last period's multi-updated records first, so the
 	// summary being published now reflects the re-certification.
+	keys := make([]int64, 0, len(da.multiPending))
 	for _, sl := range da.multiPending {
-		rid := uint64(sl)
-		rec, ok := da.byRID[rid]
+		rec, ok := da.byRID[uint64(sl)]
 		if !ok {
 			continue // deleted meanwhile
 		}
-		if err := da.resign(rec.Key, ts, &msg.Upserts); err != nil {
-			return nil, err
-		}
+		keys = append(keys, rec.Key)
+	}
+	if err := da.resignBatch(keys, ts, &msg.Upserts); err != nil {
+		return nil, err
 	}
 	summary, multi, err := da.pub.Publish(ts)
 	if err != nil {
@@ -259,32 +514,46 @@ func (da *DataAggregator) ClosePeriod(ts int64) (*UpdateMsg, error) {
 // than ρ' at time now — the low-priority renewal process of §3.1. It
 // returns the dissemination message (possibly empty) and the number of
 // records renewed.
+//
+// Candidates come off the age heap oldest-first, so each renewal step
+// is O(log n) regardless of how sparse the rid space has become
+// (deleted rids never surface), and the whole batch is signed through
+// the pipeline.
 func (da *DataAggregator) RenewOld(now int64, budget int) (*UpdateMsg, int, error) {
 	msg := &UpdateMsg{TS: now}
-	renewed := 0
-	if budget <= 0 || da.nextRID == 0 {
+	if budget <= 0 {
 		return msg, 0, nil
 	}
-	scanned := uint64(0)
-	for renewed < budget && scanned <= da.nextRID {
-		da.renewCursor++
-		if da.renewCursor > da.nextRID {
-			da.renewCursor = 1
+	var popped []certEntry
+	keys := make([]int64, 0, budget)
+	for len(keys) < budget {
+		da.dropStaleAges()
+		if len(da.ages) == 0 {
+			break
 		}
-		scanned++
-		rec, ok := da.byRID[da.renewCursor]
-		if !ok {
-			continue
+		top := da.ages[0]
+		if now-top.ts <= da.cfg.RhoPrime || now <= top.ts {
+			// Everything remaining is younger than ρ' (the second guard
+			// keeps a pathological non-positive ρ' from re-certifying a
+			// record at its existing timestamp).
+			break
 		}
-		if now-da.certTS[rec.RID] <= da.cfg.RhoPrime {
-			continue
-		}
-		if err := da.resign(rec.Key, now, &msg.Upserts); err != nil {
-			return nil, renewed, err
-		}
-		renewed++
+		heap.Pop(&da.ages)
+		popped = append(popped, top)
+		keys = append(keys, da.byRID[top.rid].Key)
 	}
-	return msg, renewed, nil
+	if len(keys) == 0 {
+		return msg, 0, nil
+	}
+	if err := da.resignBatch(keys, now, &msg.Upserts); err != nil {
+		// Signing failed before any state changed: restore the popped
+		// entries so the records stay renewal candidates.
+		for _, e := range popped {
+			heap.Push(&da.ages, e)
+		}
+		return nil, 0, err
+	}
+	return msg, len(keys), nil
 }
 
 // SnapshotMsg returns a dissemination message carrying every currently
@@ -317,13 +586,13 @@ func (da *DataAggregator) SummariesSince(ts int64) []freshness.Summary {
 }
 
 // OldestCertTS reports the oldest live signature's certification time,
-// bounding how much summary history users need.
+// bounding how much summary history users need. The age heap makes
+// this a peek — O(1) plus stale pops amortized against the pushes that
+// created them — instead of the full certTS scan it used to be.
 func (da *DataAggregator) OldestCertTS() int64 {
-	oldest := int64(-1)
-	for _, ts := range da.certTS {
-		if oldest == -1 || ts < oldest {
-			oldest = ts
-		}
+	da.dropStaleAges()
+	if len(da.ages) == 0 {
+		return -1
 	}
-	return oldest
+	return da.ages[0].ts
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"authdb/internal/chain"
 	"authdb/internal/freshness"
@@ -15,6 +16,7 @@ type Verifier struct {
 	scheme  sigagg.Scheme
 	pub     sigagg.PublicKey
 	cfg     Config
+	par     int
 	checker *freshness.Checker
 }
 
@@ -24,7 +26,17 @@ func NewVerifier(scheme sigagg.Scheme, pub sigagg.PublicKey, cfg Config) *Verifi
 		scheme:  scheme,
 		pub:     pub,
 		cfg:     cfg,
+		par:     runtime.GOMAXPROCS(0),
 		checker: freshness.NewChecker(scheme, pub),
+	}
+}
+
+// SetParallelism caps the goroutines used to recompute record digests
+// and verify aggregates (default GOMAXPROCS; 1 forces the serial
+// one-answer-at-a-time path).
+func (v *Verifier) SetParallelism(n int) {
+	if n >= 1 {
+		v.par = n
 	}
 }
 
@@ -45,21 +57,54 @@ type FreshnessReport struct {
 	MaxStaleness int64
 }
 
+// Range is the [Lo, Hi] selection an answer claims to cover.
+type Range struct {
+	Lo, Hi int64
+}
+
 // VerifyAnswer checks the complete answer for the range [lo, hi] at
 // current time now: the aggregate signature and chaining (authenticity
 // + completeness), then every record's freshness against the certified
 // summaries. Summaries attached to the answer are ingested first;
 // duplicates of already-held summaries are skipped.
 func (v *Verifier) VerifyAnswer(ans *Answer, lo, hi int64, now int64) (*FreshnessReport, error) {
-	if ans == nil || ans.Chain == nil {
-		return nil, fmt.Errorf("%w: empty answer", sigagg.ErrVerify)
+	reports, err := v.VerifyAnswers([]*Answer{ans}, []Range{{Lo: lo, Hi: hi}}, now)
+	if err != nil {
+		return nil, err
 	}
-	if ans.Chain.Lo != lo || ans.Chain.Hi != hi {
-		return nil, fmt.Errorf("%w: answer is for range [%d,%d], not [%d,%d]",
-			sigagg.ErrVerify, ans.Chain.Lo, ans.Chain.Hi, lo, hi)
+	return reports[0], nil
+}
+
+// VerifyAnswers checks a whole batch of answers in one call — what a
+// verifier session that issued (or subscribed to) many queries does
+// once per round-trip instead of once per answer. The chained record
+// digests of all answers are recomputed in parallel and the aggregates
+// are verified through the scheme's batched primitives
+// (chain.VerifyBatch); freshness is then checked per record as usual.
+// ranges[i] is the selection answer i must cover. On success the i-th
+// report corresponds to the i-th answer.
+//
+// An error means at least one answer failed; batched signature
+// verification attests the set without attributing the failure (see
+// sigagg.BatchVerifier), so callers needing the culprit fall back to
+// per-answer VerifyAnswer calls.
+func (v *Verifier) VerifyAnswers(answers []*Answer, ranges []Range, now int64) ([]*FreshnessReport, error) {
+	if len(answers) != len(ranges) {
+		return nil, fmt.Errorf("core: %d answers but %d ranges", len(answers), len(ranges))
 	}
-	// 1. Authenticity and completeness (§3.3).
-	if err := chain.Verify(v.scheme, v.pub, ans.Chain); err != nil {
+	chains := make([]*chain.Answer, len(answers))
+	for i, ans := range answers {
+		if ans == nil || ans.Chain == nil {
+			return nil, fmt.Errorf("%w: empty answer", sigagg.ErrVerify)
+		}
+		if ans.Chain.Lo != ranges[i].Lo || ans.Chain.Hi != ranges[i].Hi {
+			return nil, fmt.Errorf("%w: answer is for range [%d,%d], not [%d,%d]",
+				sigagg.ErrVerify, ans.Chain.Lo, ans.Chain.Hi, ranges[i].Lo, ranges[i].Hi)
+		}
+		chains[i] = ans.Chain
+	}
+	// 1. Authenticity and completeness (§3.3), batched.
+	if err := chain.VerifyBatch(v.scheme, v.pub, chains, v.par); err != nil {
 		return nil, err
 	}
 	// 2. Ingest any new summaries (they are individually certified).
@@ -69,37 +114,43 @@ func (v *Verifier) VerifyAnswer(ans *Answer, lo, hi int64, now int64) (*Freshnes
 			held = latest.Seq
 		}
 	}
-	for _, s := range ans.Summaries {
-		if s.Seq <= held {
-			continue
+	for _, ans := range answers {
+		for _, s := range ans.Summaries {
+			if s.Seq <= held {
+				continue
+			}
+			if err := v.checker.Add(s); err != nil {
+				return nil, fmt.Errorf("core: summary %d: %w", s.Seq, err)
+			}
+			held = s.Seq
 		}
-		if err := v.checker.Add(s); err != nil {
-			return nil, fmt.Errorf("core: summary %d: %w", s.Seq, err)
-		}
-		held = s.Seq
 	}
 	// 3. Freshness per record (§3.1). The anchor of an empty answer is a
 	// disclosed record and is checked too.
-	report := &FreshnessReport{}
-	check := func(rec *Record) error {
-		bound, err := v.checker.CheckFresh(slot(rec.RID), rec.TS, now, v.cfg.Rho)
-		if err != nil {
-			return fmt.Errorf("core: rid %d: %w", rec.RID, err)
+	reports := make([]*FreshnessReport, len(answers))
+	for i, ans := range answers {
+		report := &FreshnessReport{}
+		check := func(rec *Record) error {
+			bound, err := v.checker.CheckFresh(slot(rec.RID), rec.TS, now, v.cfg.Rho)
+			if err != nil {
+				return fmt.Errorf("core: rid %d: %w", rec.RID, err)
+			}
+			if bound > report.MaxStaleness {
+				report.MaxStaleness = bound
+			}
+			return nil
 		}
-		if bound > report.MaxStaleness {
-			report.MaxStaleness = bound
+		for _, rec := range ans.Chain.Records {
+			if err := check(rec); err != nil {
+				return nil, err
+			}
 		}
-		return nil
+		if ans.Chain.Anchor != nil {
+			if err := check(ans.Chain.Anchor); err != nil {
+				return nil, err
+			}
+		}
+		reports[i] = report
 	}
-	for _, rec := range ans.Chain.Records {
-		if err := check(rec); err != nil {
-			return nil, err
-		}
-	}
-	if ans.Chain.Anchor != nil {
-		if err := check(ans.Chain.Anchor); err != nil {
-			return nil, err
-		}
-	}
-	return report, nil
+	return reports, nil
 }

@@ -51,11 +51,18 @@ func (s *Summary) SizeBytes(scheme sigagg.Scheme) int {
 	return len(s.Compressed) + 24 + scheme.SignatureSize()
 }
 
+// SignFunc produces a signature over a summary digest. It lets the
+// publisher route certification through a caller-owned signing path
+// (e.g. a shared sigagg.Pool whose batch primitives also serve record
+// signing) instead of calling the scheme directly.
+type SignFunc func(digest []byte) (sigagg.Signature, error)
+
 // Publisher is the data-aggregator side: it accumulates the current
 // period's update bitmap and certifies it on demand.
 type Publisher struct {
 	scheme  sigagg.Scheme
 	priv    sigagg.PrivateKey
+	signFn  SignFunc
 	seq     uint64
 	lastTS  int64
 	cur     *bitmap.Bitmap
@@ -77,6 +84,10 @@ func NewPublisher(scheme sigagg.Scheme, priv sigagg.PrivateKey, numSlots int, st
 		maxHist: maxHistory,
 	}
 }
+
+// SetSigner routes summary certification through fn. A nil fn restores
+// the direct scheme.Sign path.
+func (p *Publisher) SetSigner(fn SignFunc) { p.signFn = fn }
 
 // MarkUpdated records that slot was inserted, deleted, modified or
 // re-certified during the current period. Slots beyond the current
@@ -105,7 +116,11 @@ func (p *Publisher) Publish(ts int64) (Summary, []int, error) {
 		Compressed:  p.cur.Compress(),
 	}
 	d := s.Digest()
-	sig, err := p.scheme.Sign(p.priv, d[:])
+	sign := p.signFn
+	if sign == nil {
+		sign = func(digest []byte) (sigagg.Signature, error) { return p.scheme.Sign(p.priv, digest) }
+	}
+	sig, err := sign(d[:])
 	if err != nil {
 		return Summary{}, nil, fmt.Errorf("freshness: certify summary: %w", err)
 	}

@@ -73,6 +73,39 @@ type Scheme interface {
 	AggregateVerify(pub PublicKey, digests [][]byte, agg Signature) error
 }
 
+// BatchSigner is an optional Scheme capability: SignBatch signs many
+// digests in one call, amortizing per-call setup — key material
+// decoding, scratch big.Int storage, CRT/Montgomery precomputation,
+// one result allocation for the whole batch — across the messages.
+// Implementations must produce exactly the signatures the one-shot Sign
+// would, so the two paths stay interchangeable.
+type BatchSigner interface {
+	SignBatch(priv PrivateKey, digests [][]byte) ([]Signature, error)
+}
+
+// VerifyJob pairs one aggregate signature with the digests it must
+// cover — the unit of batch verification.
+type VerifyJob struct {
+	Digests [][]byte
+	Agg     Signature
+}
+
+// BatchVerifier is an optional Scheme capability: VerifyJobs checks many
+// aggregate-verification jobs in one call, sharing the expensive
+// number-theoretic work (one combined modular exponentiation, or one
+// scalar multiplication over the summed points) across the batch. A nil
+// return means every job verified; an error means at least one job in
+// the batch is invalid.
+//
+// Batch verification has set semantics: it proves the union of all
+// digests is correctly signed by the union of the aggregates, which is
+// exactly as unforgeable as one aggregate verification over the union,
+// but does not attribute a failure to a specific job. Callers that need
+// attribution re-verify the failed batch job by job (see Pool.VerifyAll).
+type BatchVerifier interface {
+	VerifyJobs(pub PublicKey, jobs []VerifyJob) error
+}
+
 // BatchAggregator is an optional Scheme capability: AggregateInto
 // condenses sigs into one aggregate, reusing dst's storage for the
 // result when it has sufficient capacity. Compared with a chain of Add

@@ -73,6 +73,23 @@ func (s *Scheme) Sign(priv sigagg.PrivateKey, digest []byte) (sigagg.Signature, 
 	return s.mac(p.key, digest), nil
 }
 
+// SignBatch implements sigagg.BatchSigner: one keyed digest per
+// message, sliced out of a single backing array.
+func (s *Scheme) SignBatch(priv sigagg.PrivateKey, digests [][]byte) ([]sigagg.Signature, error) {
+	p, ok := priv.(*PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("xortest: wrong private key type %T", priv)
+	}
+	out := make([]sigagg.Signature, len(digests))
+	backing := make([]byte, len(digests)*SigSize)
+	for i, d := range digests {
+		enc := backing[i*SigSize : (i+1)*SigSize : (i+1)*SigSize]
+		copy(enc, s.mac(p.key, d))
+		out[i] = enc
+	}
+	return out, nil
+}
+
 // Verify implements sigagg.Scheme.
 func (s *Scheme) Verify(pub sigagg.PublicKey, digest []byte, sig sigagg.Signature) error {
 	return s.AggregateVerify(pub, [][]byte{digest}, sig)
@@ -121,6 +138,39 @@ func (s *Scheme) Add(agg, sig sigagg.Signature) (sigagg.Signature, error) {
 // Remove implements sigagg.Scheme (XOR is self-inverse).
 func (s *Scheme) Remove(agg, sig sigagg.Signature) (sigagg.Signature, error) {
 	return s.Add(agg, sig)
+}
+
+// VerifyJobs implements sigagg.BatchVerifier: XOR aggregation is
+// linear, so the XOR of every job's aggregate must equal the XOR of the
+// recomputed MACs of every digest across the batch. A single tampered
+// member fails the whole batch.
+func (s *Scheme) VerifyJobs(pub sigagg.PublicKey, jobs []sigagg.VerifyJob) error {
+	p, ok := pub.(*PublicKey)
+	if !ok {
+		return fmt.Errorf("xortest: wrong public key type %T", pub)
+	}
+	var want, have [SigSize]byte
+	total := 0
+	for _, j := range jobs {
+		if len(j.Agg) != SigSize {
+			return sigagg.ErrBadSignature
+		}
+		for i := range have {
+			have[i] ^= j.Agg[i]
+		}
+		for _, d := range j.Digests {
+			sig := s.mac(p.key, d)
+			for i := range want {
+				want[i] ^= sig[i]
+			}
+			total++
+		}
+	}
+	if want != have {
+		return fmt.Errorf("%w: xortest batch mismatch over %d jobs (%d digests)",
+			sigagg.ErrVerify, len(jobs), total)
+	}
+	return nil
 }
 
 // AggregateVerify implements sigagg.Scheme.
