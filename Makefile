@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest clean
+.PHONY: all build test race vet bench proof ingest serve clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,10 @@ proof:
 ingest:
 	$(GO) run ./cmd/authbench ingest -n $(BENCH_N)
 
+# Emit BENCH_serve.json (answer cache + coalescing, cold vs cached QPS).
+serve:
+	$(GO) run ./cmd/authbench serve -n $(BENCH_N)
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json BENCH_ingest.json
+	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json

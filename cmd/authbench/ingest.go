@@ -17,13 +17,17 @@ import (
 
 // ingestPoint is one serial-vs-pipelined Load measurement.
 type ingestPoint struct {
-	Scheme               string  `json:"scheme"`
-	N                    int     `json:"n"`
-	SerialNsPerRecord    int64   `json:"serial_ns_per_record"`
-	PipelinedNsPerRecord int64   `json:"pipelined_ns_per_record"`
-	Speedup              float64 `json:"speedup"`
-	SignaturesIdentical  bool    `json:"signatures_identical"`
-	AnswersVerified      bool    `json:"answers_verified"`
+	Scheme                   string  `json:"scheme"`
+	N                        int     `json:"n"`
+	SerialNsPerRecord        int64   `json:"serial_ns_per_record"`
+	PipelinedNsPerRecord     int64   `json:"pipelined_ns_per_record"`
+	Speedup                  float64 `json:"speedup"`
+	SerialAllocsPerRecord    uint64  `json:"serial_allocs_per_record"`
+	SerialBytesPerRecord     uint64  `json:"serial_alloc_bytes_per_record"`
+	PipelinedAllocsPerRecord uint64  `json:"pipelined_allocs_per_record"`
+	PipelinedBytesPerRecord  uint64  `json:"pipelined_alloc_bytes_per_record"`
+	SignaturesIdentical      bool    `json:"signatures_identical"`
+	AnswersVerified          bool    `json:"answers_verified"`
 }
 
 // verifyPoint is one serial-vs-batched VerifyAnswer(s) throughput
@@ -35,6 +39,10 @@ type verifyPoint struct {
 	SerialAnswersPerSec float64 `json:"serial_answers_per_sec"`
 	BatchAnswersPerSec  float64 `json:"batch_answers_per_sec"`
 	Speedup             float64 `json:"speedup"`
+	SerialAllocsPerAns  uint64  `json:"serial_allocs_per_answer"`
+	SerialBytesPerAns   uint64  `json:"serial_alloc_bytes_per_answer"`
+	BatchedAllocsPerAns uint64  `json:"batch_allocs_per_answer"`
+	BatchedBytesPerAns  uint64  `json:"batch_alloc_bytes_per_answer"`
 }
 
 // ingestResult is the BENCH_ingest.json document, extending the perf
@@ -100,12 +108,14 @@ func runIngest(args []string) error {
 
 	fmt.Printf("ingest: %d workers\n", res.Workers)
 	for _, p := range res.Points {
-		fmt.Printf("  load   %-5s n=%-8d serial %8d ns/rec  pipelined %8d ns/rec  speedup %.2fx  verified=%v\n",
-			p.Scheme, p.N, p.SerialNsPerRecord, p.PipelinedNsPerRecord, p.Speedup, p.AnswersVerified)
+		fmt.Printf("  load   %-5s n=%-8d serial %8d ns/rec (%d allocs/rec)  pipelined %8d ns/rec (%d allocs/rec)  speedup %.2fx  verified=%v\n",
+			p.Scheme, p.N, p.SerialNsPerRecord, p.SerialAllocsPerRecord,
+			p.PipelinedNsPerRecord, p.PipelinedAllocsPerRecord, p.Speedup, p.AnswersVerified)
 	}
 	for _, v := range res.Verify {
-		fmt.Printf("  verify %-5s %d answers x %d recs: serial %8.1f ans/s  batch %8.1f ans/s  speedup %.2fx\n",
-			v.Scheme, v.Answers, v.RecordsPerAnswer, v.SerialAnswersPerSec, v.BatchAnswersPerSec, v.Speedup)
+		fmt.Printf("  verify %-5s %d answers x %d recs: serial %8.1f ans/s (%d allocs/ans)  batch %8.1f ans/s (%d allocs/ans)  speedup %.2fx\n",
+			v.Scheme, v.Answers, v.RecordsPerAnswer, v.SerialAnswersPerSec, v.SerialAllocsPerAns,
+			v.BatchAnswersPerSec, v.BatchedAllocsPerAns, v.Speedup)
 	}
 	if *out != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
@@ -149,24 +159,40 @@ func measureIngest(raw sigagg.Scheme, n, answers, k int) (ingestPoint, verifyPoi
 	if err != nil {
 		return pt, vp, err
 	}
-	start := time.Now()
-	serialMsg, err := serialDA.Load(ingestRecords(n), 1)
+	// Workload generation stays outside the alloc window, so the
+	// counters charge only the Load pipelines.
+	serialRecs := ingestRecords(n)
+	var serialNs int64
+	var serialMsg *core.UpdateMsg
+	serialAllocs, serialBytes, err := measureAllocs(func() error {
+		start := time.Now()
+		m, err := serialDA.Load(serialRecs, 1)
+		serialNs = time.Since(start).Nanoseconds()
+		serialMsg = m
+		return err
+	})
 	if err != nil {
 		return pt, vp, err
 	}
-	serialNs := time.Since(start).Nanoseconds()
 
 	fmt.Printf("ingest: %s n=%d pipelined load...\n", raw.Name(), n)
 	pipeDA, err := core.NewDataAggregator(bound, priv, cfg)
 	if err != nil {
 		return pt, vp, err
 	}
-	start = time.Now()
-	pipeMsg, err := pipeDA.Load(ingestRecords(n), 1)
+	pipeRecs := ingestRecords(n)
+	var pipeNs int64
+	var pipeMsg *core.UpdateMsg
+	pipeAllocs, pipeBytes, err := measureAllocs(func() error {
+		start := time.Now()
+		m, err := pipeDA.Load(pipeRecs, 1)
+		pipeNs = time.Since(start).Nanoseconds()
+		pipeMsg = m
+		return err
+	})
 	if err != nil {
 		return pt, vp, err
 	}
-	pipeNs := time.Since(start).Nanoseconds()
 
 	// The pipeline must emit exactly the serial baseline's signatures
 	// (both schemes are deterministic).
@@ -211,13 +237,17 @@ func measureIngest(raw sigagg.Scheme, n, answers, k int) (ingestPoint, verifyPoi
 	}
 
 	pt = ingestPoint{
-		Scheme:               raw.Name(),
-		N:                    n,
-		SerialNsPerRecord:    serialNs / int64(n),
-		PipelinedNsPerRecord: pipeNs / int64(n),
-		Speedup:              float64(serialNs) / float64(pipeNs),
-		SignaturesIdentical:  true,
-		AnswersVerified:      true,
+		Scheme:                   raw.Name(),
+		N:                        n,
+		SerialNsPerRecord:        serialNs / int64(n),
+		PipelinedNsPerRecord:     pipeNs / int64(n),
+		Speedup:                  float64(serialNs) / float64(pipeNs),
+		SerialAllocsPerRecord:    serialAllocs / uint64(n),
+		SerialBytesPerRecord:     serialBytes / uint64(n),
+		PipelinedAllocsPerRecord: pipeAllocs / uint64(n),
+		PipelinedBytesPerRecord:  pipeBytes / uint64(n),
+		SignaturesIdentical:      true,
+		AnswersVerified:          true,
 	}
 
 	// Verification throughput: the same answers checked one at a time
@@ -231,27 +261,42 @@ func measureIngest(raw sigagg.Scheme, n, answers, k int) (ingestPoint, verifyPoi
 	batch, batchRanges := sweep[:answers], ranges[:answers]
 	const passes = 3
 	var serialVerifyNs, batchVerifyNs int64
+	var serialVAllocs, serialVBytes, batchVAllocs, batchVBytes uint64
 	for p := 0; p < passes; p++ {
 		serialV := core.NewVerifier(bound, pub, cfg)
 		serialV.SetParallelism(1)
-		start = time.Now()
-		for i, ans := range batch {
-			if _, err := serialV.VerifyAnswer(ans, batchRanges[i].Lo, batchRanges[i].Hi, 5); err != nil {
-				return pt, vp, err
+		var ns int64
+		allocs, bytes, err := measureAllocs(func() error {
+			start := time.Now()
+			for i, ans := range batch {
+				if _, err := serialV.VerifyAnswer(ans, batchRanges[i].Lo, batchRanges[i].Hi, 5); err != nil {
+					return err
+				}
 			}
-		}
-		if ns := time.Since(start).Nanoseconds(); p == 0 || ns < serialVerifyNs {
-			serialVerifyNs = ns
-		}
-		batchV := core.NewVerifier(bound, pub, cfg)
-		start = time.Now()
-		if _, err := batchV.VerifyAnswers(batch, batchRanges, 5); err != nil {
+			ns = time.Since(start).Nanoseconds()
+			return nil
+		})
+		if err != nil {
 			return pt, vp, err
 		}
-		if ns := time.Since(start).Nanoseconds(); p == 0 || ns < batchVerifyNs {
-			batchVerifyNs = ns
+		if p == 0 || ns < serialVerifyNs {
+			serialVerifyNs, serialVAllocs, serialVBytes = ns, allocs, bytes
+		}
+		batchV := core.NewVerifier(bound, pub, cfg)
+		allocs, bytes, err = measureAllocs(func() error {
+			start := time.Now()
+			_, err := batchV.VerifyAnswers(batch, batchRanges, 5)
+			ns = time.Since(start).Nanoseconds()
+			return err
+		})
+		if err != nil {
+			return pt, vp, err
+		}
+		if p == 0 || ns < batchVerifyNs {
+			batchVerifyNs, batchVAllocs, batchVBytes = ns, allocs, bytes
 		}
 	}
+	na := uint64(answers)
 	vp = verifyPoint{
 		Scheme:              raw.Name(),
 		Answers:             answers,
@@ -259,6 +304,10 @@ func measureIngest(raw sigagg.Scheme, n, answers, k int) (ingestPoint, verifyPoi
 		SerialAnswersPerSec: float64(answers) / (float64(serialVerifyNs) / 1e9),
 		BatchAnswersPerSec:  float64(answers) / (float64(batchVerifyNs) / 1e9),
 		Speedup:             float64(serialVerifyNs) / float64(batchVerifyNs),
+		SerialAllocsPerAns:  serialVAllocs / na,
+		SerialBytesPerAns:   serialVBytes / na,
+		BatchedAllocsPerAns: batchVAllocs / na,
+		BatchedBytesPerAns:  batchVBytes / na,
 	}
 	return pt, vp, nil
 }

@@ -8,7 +8,7 @@
 //	authbench <experiment> [flags]
 //
 // Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
-// fig11 proof ingest all
+// fig11 proof ingest serve all
 //
 // Absolute numbers depend on the host; the substitutions versus the
 // paper's testbed are catalogued in DESIGN.md.
@@ -39,6 +39,7 @@ var experiments = []experiment{
 	{"fig11", "equi-join VO size: BV vs BF across α, m/IB, IB/p, selectivity", runFig11},
 	{"proof", "aggregation-tree vs linear proof construction (writes BENCH_proof.json)", runProof},
 	{"ingest", "pipelined vs serial signing & batch verification (writes BENCH_ingest.json)", runIngest},
+	{"serve", "answer cache + coalescing serving layer, cold vs cached (writes BENCH_serve.json)", runServe},
 }
 
 func main() {

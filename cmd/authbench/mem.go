@@ -1,0 +1,17 @@
+package main
+
+import "runtime"
+
+// measureAllocs runs f between two MemStats snapshots and reports the
+// heap allocations it performed — the `-benchmem` counters (allocs/op,
+// B/op) for sections that are timed by hand rather than through
+// testing.B. The ReadMemStats calls sit outside any fine-grained timer
+// the caller keeps, so they do not pollute latency numbers; divide by
+// the operation count for per-op figures.
+func measureAllocs(f func() error) (allocs, bytes uint64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	err = f()
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, m1.TotalAlloc - m0.TotalAlloc, err
+}

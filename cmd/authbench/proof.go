@@ -26,6 +26,10 @@ type proofResult struct {
 	Speedup         float64 `json:"speedup"`
 	TreeAggOps      int     `json:"tree_aggops_per_query"`
 	LinAggOps       int     `json:"linear_aggops_per_query"`
+	TreeAllocs      uint64  `json:"tree_allocs_per_query"`
+	TreeAllocBytes  uint64  `json:"tree_alloc_bytes_per_query"`
+	LinAllocs       uint64  `json:"linear_allocs_per_query"`
+	LinAllocBytes   uint64  `json:"linear_alloc_bytes_per_query"`
 	BuildNs         int64   `json:"fixture_build_ns"`
 	AnswersVerified bool    `json:"answers_verified"`
 }
@@ -88,37 +92,46 @@ func runProof(args []string) error {
 	buildNs := time.Since(buildStart).Nanoseconds()
 	verifier := core.NewVerifier(bound, pub, core.DefaultConfig())
 
-	measure := func(qs *core.QueryServer) (nsPerQuery int64, aggOps int, err error) {
-		verified := false
+	// measure times the query loop and charges its heap allocations
+	// (the -benchmem counters); verification runs after the counted
+	// window so user-side work doesn't pollute the server-side figures.
+	measure := func(qs *core.QueryServer) (nsPerQuery int64, aggOps int, allocs, allocBytes uint64, err error) {
 		var total time.Duration
-		for q := 0; q < *queries; q++ {
-			r := (q * 9973) % (*n - *k + 1)
-			lo, hi := keys[r], keys[r+*k-1]
-			start := time.Now()
-			ans, err := qs.Query(lo, hi)
-			total += time.Since(start)
-			if err != nil {
-				return 0, 0, err
-			}
-			if len(ans.Chain.Records) != *k {
-				return 0, 0, fmt.Errorf("proof: got %d records, want %d", len(ans.Chain.Records), *k)
-			}
-			aggOps = ans.Ops
-			if !verified {
-				if _, err := verifier.VerifyAnswer(ans, lo, hi, 10); err != nil {
-					return 0, 0, fmt.Errorf("proof: answer failed verification: %w", err)
+		var lastAns *core.Answer
+		var lastLo, lastHi int64
+		allocs, allocBytes, err = measureAllocs(func() error {
+			for q := 0; q < *queries; q++ {
+				r := (q * 9973) % (*n - *k + 1)
+				lo, hi := keys[r], keys[r+*k-1]
+				start := time.Now()
+				ans, err := qs.Query(lo, hi)
+				total += time.Since(start)
+				if err != nil {
+					return err
 				}
-				verified = true
+				if len(ans.Chain.Records) != *k {
+					return fmt.Errorf("proof: got %d records, want %d", len(ans.Chain.Records), *k)
+				}
+				aggOps = ans.Ops
+				lastAns, lastLo, lastHi = ans, lo, hi
 			}
+			return nil
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
 		}
-		return total.Nanoseconds() / int64(*queries), aggOps, nil
+		if _, err := verifier.VerifyAnswer(lastAns, lastLo, lastHi, 10); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("proof: answer failed verification: %w", err)
+		}
+		q := uint64(*queries)
+		return total.Nanoseconds() / int64(*queries), aggOps, allocs / q, allocBytes / q, nil
 	}
 
-	treeNs, treeOps, err := measure(treeQS)
+	treeNs, treeOps, treeAllocs, treeBytes, err := measure(treeQS)
 	if err != nil {
 		return err
 	}
-	linNs, linOps, err := measure(linQS)
+	linNs, linOps, linAllocs, linBytes, err := measure(linQS)
 	if err != nil {
 		return err
 	}
@@ -134,12 +147,18 @@ func runProof(args []string) error {
 		Speedup:         float64(linNs) / float64(treeNs),
 		TreeAggOps:      treeOps,
 		LinAggOps:       linOps,
+		TreeAllocs:      treeAllocs,
+		TreeAllocBytes:  treeBytes,
+		LinAllocs:       linAllocs,
+		LinAllocBytes:   linBytes,
 		BuildNs:         buildNs,
 		AnswersVerified: true,
 	}
 	fmt.Printf("proof: n=%d k=%d shards=%d\n", res.N, res.K, res.Shards)
-	fmt.Printf("  tree   : %12d ns/query  %6d aggops\n", res.TreeNsPerQuery, res.TreeAggOps)
-	fmt.Printf("  linear : %12d ns/query  %6d aggops\n", res.LinNsPerQuery, res.LinAggOps)
+	fmt.Printf("  tree   : %12d ns/query  %6d aggops  %8d allocs/query  %10d B/query\n",
+		res.TreeNsPerQuery, res.TreeAggOps, res.TreeAllocs, res.TreeAllocBytes)
+	fmt.Printf("  linear : %12d ns/query  %6d aggops  %8d allocs/query  %10d B/query\n",
+		res.LinNsPerQuery, res.LinAggOps, res.LinAllocs, res.LinAllocBytes)
 	fmt.Printf("  speedup: %.1fx, every answer verified\n", res.Speedup)
 	if *out != "" {
 		data, err := json.MarshalIndent(res, "", "  ")

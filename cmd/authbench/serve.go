@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb/internal/server"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+	"authdb/internal/sigagg/crsa"
+	"authdb/internal/sigagg/xortest"
+)
+
+// runServe drives the concurrent serving layer: closed-loop clients
+// issuing zipfian hot-range queries against the answer cache while a
+// writer applies invalidating updates, cold versus cached, writing
+// BENCH_serve.json.
+func runServe(args []string) error {
+	fs := newFlags("serve")
+	schemeName := fs.String("scheme", "bas", "scheme (bas, crsa, xortest)")
+	n := fs.Int("n", 100_000, "relation size")
+	ranges := fs.Int("ranges", 512, "hot-range catalog size")
+	sf := fs.Float64("sf", 0.0005, "selectivity factor")
+	theta := fs.Float64("theta", 1.07, "zipf exponent (>1)")
+	clients := fs.String("clients", "", "comma-separated client counts (default 1..GOMAXPROCS, doubling)")
+	durMS := fs.Int("dur", 1500, "timed window per point (ms)")
+	updEveryMS := fs.Float64("update-every", 2, "writer cadence (ms; 0 = read-only)")
+	cacheMB := fs.Int64("cache-mb", 64, "answer-cache budget (MiB)")
+	shards := fs.Int("shards", 64, "QueryServer key-range shards (epoch/invalidation granularity)")
+	verifyEvery := fs.Int("verify-every", 256, "verify every k-th served answer (0 = sweep only)")
+	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short windows")
+	out := fs.String("out", "BENCH_serve.json", "output JSON path (empty to skip)")
+	check := fs.String("check", "", "validate an existing BENCH_serve.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *check != "" {
+		return checkServeJSON(*check)
+	}
+
+	var scheme sigagg.Scheme
+	switch strings.TrimSpace(*schemeName) {
+	case "bas":
+		scheme = bas.New(0)
+	case "crsa":
+		scheme = crsa.New(crsa.DefaultBits)
+	case "xortest":
+		scheme = xortest.New()
+	default:
+		return fmt.Errorf("serve: unknown scheme %q", *schemeName)
+	}
+
+	cfg := server.DefaultConfig(scheme)
+	cfg.N = *n
+	cfg.Ranges = *ranges
+	cfg.SF = *sf
+	cfg.Theta = *theta
+	cfg.Duration = time.Duration(*durMS) * time.Millisecond
+	cfg.UpdateEvery = time.Duration(*updEveryMS * float64(time.Millisecond))
+	cfg.CacheBytes = *cacheMB << 20
+	cfg.VerifyEvery = *verifyEvery
+	cfg.Shards = *shards
+	if *short {
+		cfg.N = 5_000
+		cfg.Ranges = 64
+		cfg.SF = 0.002
+		cfg.Duration = 150 * time.Millisecond
+		cfg.VerifyEvery = 16
+	}
+	if *clients != "" {
+		cfg.Clients = nil
+		for _, c := range strings.Split(*clients, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || v < 1 {
+				return fmt.Errorf("serve: bad client count %q", c)
+			}
+			cfg.Clients = append(cfg.Clients, v)
+		}
+	}
+
+	rep, err := server.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("serve: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// checkServeJSON validates that a BENCH_serve.json is well-formed: at
+// least one cold and one cached point, positive throughput, the
+// correctness sweep ran, and the cached mode actually hit its cache.
+func checkServeJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep server.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("serve: %s is not valid JSON: %w", path, err)
+	}
+	if !rep.CorrectnessChecked {
+		return fmt.Errorf("serve: %s: correctness sweep did not run", path)
+	}
+	cold, cached := 0, 0
+	hits := uint64(0)
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.Total.Count <= 0 {
+			return fmt.Errorf("serve: %s: empty point %+v", path, p)
+		}
+		if p.Cached {
+			cached++
+			hits += p.CacheHits
+		} else {
+			cold++
+		}
+	}
+	if cold == 0 || cached == 0 {
+		return fmt.Errorf("serve: %s: need both cold and cached points", path)
+	}
+	if hits == 0 {
+		return fmt.Errorf("serve: %s: cached points never hit the cache", path)
+	}
+	if rep.Speedup <= 1 {
+		return fmt.Errorf("serve: %s: cached serving is not faster than cold (%.2fx)", path, rep.Speedup)
+	}
+	fmt.Printf("serve: %s is well-formed (%d points, %.1fx cached vs cold)\n",
+		path, len(rep.Points), rep.Speedup)
+	return nil
+}

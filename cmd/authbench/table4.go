@@ -16,8 +16,9 @@ import (
 // testbed holds really built EMB- and BAS structures plus measured
 // operation costs, shared by table4 and the Fig. 7/9 simulations.
 type testbed struct {
-	n      int
-	ioTime time.Duration // modelled time per page I/O
+	n       int
+	ioTime  time.Duration // modelled time per page I/O
+	sigSize int           // scheme signature size, resolved once
 
 	sys     *core.System
 	keys    []int64
@@ -52,6 +53,7 @@ func buildTestbed(n int, ioMS float64) (*testbed, error) {
 		return nil, err
 	}
 	tb.sys = sys
+	tb.sigSize = sys.Scheme.SignatureSize()
 	recs := workload.Records(workload.Config{N: n, RecLen: 512, Seed: 1})
 	tb.keys = workload.Keys(recs)
 	fmt.Printf("signing %d records with BAS... ", n)
@@ -130,7 +132,7 @@ func (tb *testbed) measureBAS(card int) (opCosts, error) {
 	cfg := storage.DefaultPageConfig()
 	pages := cfg.HeightASign(int64(tb.n)) + 1 + card/cfg.LeafCapacityASign() + recordPages(card)
 	c.queryIO = time.Duration(pages) * tb.ioTime
-	c.voBytes = lastAns.VOSizeBytes(tb.sys.Scheme)
+	c.voBytes = lastAns.VOSize(tb.sigSize)
 
 	c.verify = timeIt(1, func() {
 		if _, err := tb.sys.Verifier.VerifyAnswer(lastAns, q.Lo, q.Hi, 10); err != nil {

@@ -87,6 +87,7 @@ func main() {
 		}
 		return true
 	}
+	sigSize := sys.Scheme.SignatureSize() // one lookup for the whole session
 	verifiedQuery := func(lo, hi int64) {
 		ans, err := sys.QS.Query(lo, hi)
 		if err != nil {
@@ -99,7 +100,7 @@ func main() {
 			return
 		}
 		fmt.Printf("%d records, VO %dB, staleness bound %dms — verified OK\n",
-			len(ans.Chain.Records), ans.VOSizeBytes(sys.Scheme), report.MaxStaleness)
+			len(ans.Chain.Records), ans.VOSize(sigSize), report.MaxStaleness)
 		for _, r := range ans.Chain.Records {
 			fmt.Printf("  key=%-8d rid=%-6d ts=%-8d %s\n", r.Key, r.RID, r.TS, r.Attrs[0])
 		}

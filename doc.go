@@ -25,6 +25,17 @@
 // over a frozen population as an additional fast path; its tree
 // mechanics live in aggtree too, as a pinned-frontier structure.
 //
+// In front of the tree walk sits a serving layer (internal/anscache +
+// QueryServer.Serve): a sharded, epoch-versioned cache of fully
+// materialized answers — records, aggregate signature and pre-encoded
+// wire bytes — with singleflight coalescing so N concurrent identical
+// cold requests cost one tree walk, and frequency-biased LRU admission.
+// Updates bump per-shard epoch counters and thereby invalidate exactly
+// the cached ranges they intersect; hot-range hits are O(1) and perform
+// zero aggregation operations. internal/server pairs the cache with the
+// wire codec and drives the closed-loop zipfian serving benchmark
+// (BENCH_serve.json).
+//
 // Aggregate-signature schemes live under internal/sigagg: bilinear
 // aggregate signatures (sigagg/bas), condensed RSA (sigagg/crsa) and a
 // zero-cost counting scheme for experiments (sigagg/xortest), all

@@ -1,0 +1,405 @@
+package anscache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeEpochs is a test EpochSource with mutable counters.
+type fakeEpochs struct {
+	data [8]atomic.Uint64
+	sum  atomic.Uint64
+}
+
+func (f *fakeEpochs) DataEpoch(i int) uint64 { return f.data[i].Load() }
+func (f *fakeEpochs) SummaryEpoch() uint64   { return f.sum.Load() }
+
+// stampFor snapshots the current epochs over shards [first, last].
+func (f *fakeEpochs) stampFor(first, last int) Stamp {
+	st := Stamp{First: first, Epochs: make([]uint64, last-first+1), Summary: f.sum.Load()}
+	for i := first; i <= last; i++ {
+		st.Epochs[i-first] = f.data[i].Load()
+	}
+	return st
+}
+
+func entryFor(key Key, st Stamp, payload string) *Entry {
+	return &Entry{Key: key, Value: payload, Wire: []byte(payload), Stamp: st}
+}
+
+func TestGetAfterDo(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	key := Key{Lo: 10, Hi: 20}
+	e, out, err := c.Do(key, func() (*Entry, error) {
+		return entryFor(key, src.stampFor(0, 1), "answer"), nil
+	})
+	if err != nil || out != Built {
+		t.Fatalf("Do: %v outcome %v", err, out)
+	}
+	e.Release()
+
+	e2, ok := c.Get(key)
+	if !ok {
+		t.Fatal("expected a resident entry")
+	}
+	if string(e2.Wire) != "answer" || e2.Value.(string) != "answer" {
+		t.Fatalf("wrong entry: %q", e2.Wire)
+	}
+	e2.Release()
+
+	e3, out, err := c.Do(key, func() (*Entry, error) {
+		t.Fatal("build must not run on a hit")
+		return nil, nil
+	})
+	if err != nil || out != Hit {
+		t.Fatalf("Do on hit: %v outcome %v", err, out)
+	}
+	e3.Release()
+	if st := c.Stats(); st.Hits != 2 || st.Built != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	hot := Key{Lo: 0, Hi: 5}    // depends on shards 0..1
+	cold := Key{Lo: 50, Hi: 60} // depends on shard 3
+	for _, k := range []struct {
+		key         Key
+		first, last int
+	}{{hot, 0, 1}, {cold, 3, 3}} {
+		e, _, err := c.Do(k.key, func() (*Entry, error) {
+			return entryFor(k.key, src.stampFor(k.first, k.last), "v"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	}
+
+	// An update to shard 1 must invalidate hot but not cold.
+	src.data[1].Add(1)
+	if _, ok := c.Get(hot); ok {
+		t.Fatal("stale entry served after intersecting update")
+	}
+	if _, ok := c.Get(cold); !ok {
+		t.Fatal("non-intersecting entry was flushed")
+	}
+
+	// A new summary invalidates everything.
+	src.sum.Add(1)
+	if _, ok := c.Get(cold); ok {
+		t.Fatal("stale entry served after summary publication")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("expected 2 invalidations: %+v", st)
+	}
+}
+
+func TestSingleflightCoalescing(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	key := Key{Lo: 1, Hi: 2}
+	const K = 16
+	gate := make(chan struct{})
+	var builds atomic.Int64
+	var outcomes [K]Outcome
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, out, err := c.Do(key, func() (*Entry, error) {
+				builds.Add(1)
+				<-gate // hold the flight open so others coalesce
+				return entryFor(key, src.stampFor(0, 0), "shared"), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outcomes[i] = out
+			if string(e.Wire) != "shared" {
+				t.Errorf("wrong bytes %q", e.Wire)
+			}
+			e.Release()
+		}(i)
+	}
+	// Let the goroutines pile up on the flight, then release it.
+	for builds.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("%d builds for one key", builds.Load())
+	}
+	built, coal, hit := 0, 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case Built:
+			built++
+		case Coalesced:
+			coal++
+		case Hit:
+			hit++
+		}
+	}
+	if built != 1 || built+coal+hit != K {
+		t.Fatalf("outcomes built=%d coal=%d hit=%d", built, coal, hit)
+	}
+}
+
+// TestCoalescedStaleRetry: a waiter must not serve a flight result that
+// an intersecting update invalidated mid-flight.
+func TestCoalescedStaleRetry(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	key := Key{Lo: 1, Hi: 2}
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e, _, err := c.Do(key, func() (*Entry, error) {
+			st := src.stampFor(0, 0)
+			close(inFlight)
+			<-gate
+			return entryFor(key, st, "stale"), nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e.Release()
+	}()
+	<-inFlight
+	waiterDone := make(chan string)
+	go func() {
+		e, _, err := c.Do(key, func() (*Entry, error) {
+			builds.Add(1)
+			return entryFor(key, src.stampFor(0, 0), "fresh"), nil
+		})
+		if err != nil {
+			waiterDone <- err.Error()
+			return
+		}
+		defer e.Release()
+		waiterDone <- string(e.Wire)
+	}()
+	// Wait (in-package: inspect the flight) until the second caller has
+	// actually latched onto the leader's flight.
+	sh := c.shardOf(key)
+	for {
+		sh.mu.Lock()
+		f := sh.flights[key]
+		joined := f != nil && f.waiters == 1
+		sh.mu.Unlock()
+		if joined {
+			break
+		}
+	}
+	// The update lands while the first build is in flight: its stamp is
+	// now stale, so the waiter must rebuild rather than share it.
+	src.data[0].Add(1)
+	close(gate)
+	wg.Wait()
+	if got := <-waiterDone; got != "fresh" {
+		t.Fatalf("waiter served %q, want a fresh rebuild", got)
+	}
+	if c.Stats().Retries != 1 {
+		t.Fatalf("expected one stale-retry: %+v", c.Stats())
+	}
+}
+
+func TestSizeBoundAndFrequencyBias(t *testing.T) {
+	src := &fakeEpochs{}
+	// One lock domain, budget for ~4 small entries.
+	c := New(src, WithShards(1), WithMaxBytes(4*(entryOverhead+8)))
+	mk := func(lo int64) Key { return Key{Lo: lo, Hi: lo + 1} }
+	put := func(lo int64) {
+		key := mk(lo)
+		e, _, err := c.Do(key, func() (*Entry, error) {
+			return entryFor(key, src.stampFor(0, 0), "12345678"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Release()
+	}
+	for lo := int64(0); lo < 4; lo++ {
+		put(lo * 10)
+	}
+	// Make entry 0 hot.
+	for i := 0; i < 32; i++ {
+		if e, ok := c.Get(mk(0)); ok {
+			e.Release()
+		} else {
+			t.Fatal("hot entry missing")
+		}
+	}
+	// A scan of cold one-shot ranges must not displace the hot entry.
+	for lo := int64(100); lo < 140; lo += 10 {
+		put(lo)
+	}
+	if _, ok := c.Get(mk(0)); !ok {
+		t.Fatal("hot entry washed out by a cold scan")
+	}
+	st := c.Stats()
+	if st.Evictions == 0 && st.Rejected == 0 {
+		t.Fatalf("size bound never engaged: %+v", st)
+	}
+	if st.Bytes > 4*(entryOverhead+8) {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+}
+
+func TestReleaseRecyclesWire(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src, WithShards(1), WithMaxBytes(entryOverhead+16))
+	var freed atomic.Int64
+	put := func(lo int64) *Entry {
+		key := Key{Lo: lo, Hi: lo + 1}
+		e, _, err := c.Do(key, func() (*Entry, error) {
+			ent := entryFor(key, src.stampFor(0, 0), "0123456789abcdef")
+			ent.Free = func([]byte) { freed.Add(1) }
+			return ent, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1 := put(0)
+	e1.Release()
+	if freed.Load() != 0 {
+		t.Fatal("buffer freed while resident")
+	}
+	// Second entry evicts the first (budget holds one); with no readers
+	// left the first buffer must return to the pool.
+	e2 := put(100)
+	e2.Release()
+	if freed.Load() != 1 {
+		t.Fatalf("evicted buffer not freed (freed=%d)", freed.Load())
+	}
+}
+
+func TestConcurrentMixedUse(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src, WithMaxBytes(1<<16))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				lo := int64((g*7 + i) % 32)
+				key := Key{Lo: lo, Hi: lo + 4}
+				e, _, err := c.Do(key, func() (*Entry, error) {
+					return entryFor(key, src.stampFor(0, 3), fmt.Sprintf("v%d", lo)), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want := fmt.Sprintf("v%d", lo); string(e.Wire) != want {
+					t.Errorf("got %q want %q", e.Wire, want)
+				}
+				e.Release()
+				if i%50 == 0 {
+					src.data[i%4].Add(1)
+				}
+				if i%97 == 0 {
+					src.sum.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBuildPanicResolvesFlight: a panicking build must resolve the
+// flight (waiters get an error, the key is not wedged) and re-raise.
+func TestBuildPanicResolvesFlight(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	key := Key{Lo: 1, Hi: 2}
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	leaderDone := make(chan any)
+	go func() {
+		defer func() { leaderDone <- recover() }()
+		c.Do(key, func() (*Entry, error) {
+			close(inFlight)
+			<-gate
+			panic("query pipeline bug")
+		})
+	}()
+	<-inFlight
+	waiterErr := make(chan error)
+	go func() {
+		_, _, err := c.Do(key, func() (*Entry, error) {
+			return entryFor(key, src.stampFor(0, 0), "unreachable"), nil
+		})
+		waiterErr <- err
+	}()
+	// Ensure the waiter has latched onto the flight before it blows up.
+	sh := c.shardOf(key)
+	for {
+		sh.mu.Lock()
+		f := sh.flights[key]
+		joined := f != nil && f.waiters == 1
+		sh.mu.Unlock()
+		if joined {
+			break
+		}
+	}
+	close(gate)
+	if r := <-leaderDone; r == nil {
+		t.Fatal("panic was swallowed instead of re-raised")
+	}
+	if err := <-waiterErr; err == nil {
+		t.Fatal("waiter on a panicked flight got no error")
+	}
+	// The key must not be wedged: a fresh Do builds normally.
+	e, out, err := c.Do(key, func() (*Entry, error) {
+		return entryFor(key, src.stampFor(0, 0), "recovered"), nil
+	})
+	if err != nil || out != Built || string(e.Wire) != "recovered" {
+		t.Fatalf("key wedged after build panic: %v %v %q", err, out, e.Wire)
+	}
+	e.Release()
+}
+
+// TestClearReleasesResidency: detaching drains every resident entry's
+// residency reference so buffers recycle once readers finish.
+func TestClearReleasesResidency(t *testing.T) {
+	src := &fakeEpochs{}
+	c := New(src)
+	var freed atomic.Int64
+	key := Key{Lo: 7, Hi: 9}
+	e, _, err := c.Do(key, func() (*Entry, error) {
+		ent := entryFor(key, src.stampFor(0, 0), "payload")
+		ent.Free = func([]byte) { freed.Add(1) }
+		return ent, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("%d entries survive Clear", c.Len())
+	}
+	if freed.Load() != 0 {
+		t.Fatal("buffer freed while a reader still holds it")
+	}
+	e.Release()
+	if freed.Load() != 1 {
+		t.Fatalf("buffer not recycled after last release (freed=%d)", freed.Load())
+	}
+}

@@ -152,7 +152,13 @@ func (a *Answer) DigestsParallel(par int) [][]byte {
 // aggregate signature plus the boundary references, matching the
 // accounting of §3.3 (signature + two boundary values).
 func (a *Answer) VOSizeBytes(scheme sigagg.Scheme) int {
-	size := scheme.SignatureSize() + 2*12 // two (key, rid) refs
+	return a.VOSize(scheme.SignatureSize())
+}
+
+// VOSize is VOSizeBytes with the scheme's signature size pre-resolved,
+// so loops sizing many answers look the size up once.
+func (a *Answer) VOSize(sigSize int) int {
+	size := sigSize + 2*12 // two (key, rid) refs
 	if a.Anchor != nil {
 		size += 12 // the anchor's extra left reference
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"authdb/internal/sigagg/xortest"
@@ -80,6 +81,127 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := sys.Verifier.VerifyAnswer(ans, 10, 5120, 10_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentServeWithAnswerCache races Serve (through the answer
+// cache), Apply (invalidating updates) and EnableSigCache, asserting
+// the epoch check's core guarantee: no served answer is older than any
+// intersecting update that completed before the serve began. Run with
+// -race.
+func TestConcurrentServeWithAnswerCache(t *testing.T) {
+	sys := newSystem(t, xortest.New())
+	const n = 512
+	load(t, sys, n)
+	if err := sys.QS.EnableAnswerCache(testCodec(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	// floor[i] is the TS of the last COMPLETED update to key (i+1)*10;
+	// stored only after Apply returns, so any serve that starts later
+	// must observe at least this version.
+	var floor [n]atomic.Int64
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // single writer: the DA is single-writer by design
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			slot := (i * 37) % n
+			key := int64(slot+1) * 10
+			ts := int64(1000 + i)
+			msg, err := sys.DA.Update(key, [][]byte{[]byte(fmt.Sprintf("v-%d", ts))}, ts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := sys.QS.Apply(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			floor[slot].Store(ts)
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // periodically rebuild the SigCache under traffic
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			strategy := sigcache.Lazy
+			if i%2 == 1 {
+				strategy = sigcache.Eager
+			}
+			if err := sys.QS.EnableSigCache(sigcache.Uniform, 8, strategy); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := NewVerifier(sys.Scheme, sys.Pub, DefaultConfig())
+			for i := 0; i < 150; i++ {
+				startSlot := int((seed*31 + int64(i)*17) % (n - 40))
+				lo := int64(startSlot+1) * 10
+				hi := lo + 300 // ~31 records
+				// Snapshot the floors BEFORE serving: updates completed
+				// by now must be visible in whatever we are served.
+				var floors [31]int64
+				for s := 0; s < 31; s++ {
+					floors[s] = floor[startSlot+s].Load()
+				}
+				sv, err := sys.QS.Serve(lo, hi)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, rec := range sv.Answer.Chain.Records {
+					s := int(rec.Key/10) - 1 - startSlot
+					if s < 0 || s >= 31 {
+						continue
+					}
+					if rec.TS < floors[s] {
+						t.Errorf("stale answer (%v): key %d served ts=%d, update ts=%d completed before serve",
+							sv.Source, rec.Key, rec.TS, floors[s])
+					}
+				}
+				if i%10 == 0 {
+					if _, err := v.VerifyAnswer(sv.Answer, lo, hi, 100_000); err != nil {
+						t.Errorf("served answer failed verification: %v", err)
+					}
+				}
+				sv.Release()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+
+	// Final state: a full-range serve reflects every completed update
+	// and verifies.
+	sv, err := sys.QS.Serve(10, n*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Release()
+	for _, rec := range sv.Answer.Chain.Records {
+		slot := int(rec.Key/10) - 1
+		if want := floor[slot].Load(); want != 0 && rec.TS < want {
+			t.Errorf("final state: key %d at ts=%d, want >= %d", rec.Key, rec.TS, want)
+		}
+	}
+	if _, err := sys.Verifier.VerifyAnswer(sv.Answer, 10, n*10, 100_000); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"authdb/internal/aggtree"
 	"authdb/internal/btree"
@@ -27,11 +28,20 @@ type Answer struct {
 	Ops int
 }
 
-// VOSizeBytes reports the proof overhead shipped with the records.
+// VOSizeBytes reports the proof overhead shipped with the records. The
+// scheme's signature size is looked up once and reused for the chain
+// overhead and every attached summary; callers sizing many answers
+// should hoist the lookup themselves and use VOSize.
 func (a *Answer) VOSizeBytes(scheme sigagg.Scheme) int {
-	size := a.Chain.VOSizeBytes(scheme)
+	return a.VOSize(scheme.SignatureSize())
+}
+
+// VOSize is VOSizeBytes with the signature size pre-resolved, for loops
+// that size one answer per query against a fixed scheme.
+func (a *Answer) VOSize(sigSize int) int {
+	size := a.Chain.VOSize(sigSize)
 	for i := range a.Summaries {
-		size += a.Summaries[i].SizeBytes(scheme)
+		size += a.Summaries[i].Size(sigSize)
 	}
 	return size
 }
@@ -69,6 +79,10 @@ type shard struct {
 // fast path for ranges its positions still cover.
 //
 // Lock order: topo → routing → shards (ascending) → cacheMu → sumMu.
+// The answer cache's own shard mutexes are independent leaves: the
+// cache is never locked while a core lock is held (Serve's build
+// callback runs outside the cache locks), and epoch stamps are plain
+// atomics that impose no ordering.
 type QueryServer struct {
 	scheme sigagg.Scheme
 	linear bool // baseline mode: aggregate result signatures linearly
@@ -82,6 +96,20 @@ type QueryServer struct {
 	bounds []int64 // ascending split keys; shard i covers keys < bounds[i]; nil = everything in shard 0
 	seeded bool
 	shards []*shard
+
+	// epochs[i] versions the data of shard i; sumEpoch versions the
+	// summary stream. Updates bump the epochs of exactly the shards
+	// they touch while holding those shards' write locks, so an answer
+	// cache entry stamped under the read locks stays valid until an
+	// intersecting update lands — and no longer. The slices outlive the
+	// one-off reseeding (which replaces qs.shards and bumps every
+	// epoch).
+	epochs   []atomic.Uint64
+	sumEpoch atomic.Uint64
+
+	// serving holds the answer-cache state when EnableAnswerCache has
+	// been called (atomic so enabling races nothing).
+	serving atomic.Pointer[servingState]
 
 	// routing serializes update application and guards rid → key
 	// routing (queries never touch it).
@@ -141,8 +169,17 @@ func NewQueryServer(scheme sigagg.Scheme, opts ...Option) *QueryServer {
 	for i := range qs.shards {
 		qs.shards[i] = newShard(scheme)
 	}
+	qs.epochs = make([]atomic.Uint64, qs.nset)
 	return qs
 }
+
+// DataEpoch implements anscache.EpochSource: the version counter of
+// data shard i.
+func (qs *QueryServer) DataEpoch(i int) uint64 { return qs.epochs[i].Load() }
+
+// SummaryEpoch implements anscache.EpochSource: the version counter of
+// the certified-summary stream.
+func (qs *QueryServer) SummaryEpoch() uint64 { return qs.sumEpoch.Load() }
 
 func newShard(scheme sigagg.Scheme) *shard {
 	return &shard{
@@ -233,6 +270,11 @@ func (qs *QueryServer) maybeSeed(msg *UpdateMsg) error {
 	}
 	qs.bounds = bounds
 	qs.seeded = true
+	// The topology change remaps every shard: bump all epochs (under
+	// the exclusive topo lock, so no query can be stamping).
+	for i := range qs.epochs {
+		qs.epochs[i].Add(1)
+	}
 	// Migrate anything already stored (routing is untouched: keys keep
 	// their rids).
 	old := qs.shards[0]
@@ -337,6 +379,13 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 			qs.shards[id].mu.Unlock()
 		}
 	}()
+	// Invalidate cached answers over exactly the touched shards. Bumping
+	// inside the write-lock critical section makes the epoch check
+	// exact: any answer stamped before these locks were granted carries
+	// older epochs and can never be served again.
+	for _, id := range ids {
+		qs.epochs[id].Add(1)
+	}
 
 	for _, rid := range msg.Deletes {
 		key, ok := qs.keyOf[rid]
@@ -389,6 +438,7 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 	if msg.Summary != nil {
 		qs.sumMu.Lock()
 		qs.summaries = append(qs.summaries, *msg.Summary)
+		qs.sumEpoch.Add(1)
 		qs.sumMu.Unlock()
 	}
 	return nil
@@ -426,9 +476,13 @@ func (qs *QueryServer) applyBulk(msg *UpdateMsg) error {
 	if err := qs.bulkFill(entries, recs); err != nil {
 		return err
 	}
+	for i := range qs.epochs {
+		qs.epochs[i].Add(1)
+	}
 	if msg.Summary != nil {
 		qs.sumMu.Lock()
 		qs.summaries = append(qs.summaries, *msg.Summary)
+		qs.sumEpoch.Add(1)
 		qs.sumMu.Unlock()
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"authdb/internal/anscache"
 	"authdb/internal/btree"
 	"authdb/internal/chain"
 	"authdb/internal/freshness"
@@ -64,8 +65,21 @@ func entryRef(e btree.Entry) chain.Ref { return chain.Ref{Key: e.Key, RID: e.RID
 // overlapped, computed concurrently — and never by linearly folding the
 // result signatures.
 func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
+	ans, _, err := qs.queryStamped(lo, hi, false)
+	return ans, err
+}
+
+// queryStamped is Query plus, when stamped is set, the epoch stamp the
+// answer cache needs: the version of every shard the proof consulted,
+// read while the shard read locks are still held (so the stamp exactly
+// matches the data snapshot), and the summary-stream version read where
+// the summaries were sliced. Any update that could change this answer
+// must take one of those write locks and bumps the corresponding epoch
+// there, so a stamp that is still current proves the cached answer is
+// too. Plain Query passes stamped=false and skips the stamp allocation.
+func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool) (*Answer, anscache.Stamp, error) {
 	if lo > hi {
-		return nil, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
+		return nil, anscache.Stamp{}, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
 	}
 	qs.topo.RLock()
 	defer qs.topo.RUnlock()
@@ -75,15 +89,26 @@ func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
 		for j := loS; j <= hiS; j++ {
 			qs.shards[j].mu.RLock()
 		}
-		ans, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi)
+		ans, sumEpoch, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi)
+		var stamp anscache.Stamp
+		if stamped && err == nil && ans != nil {
+			stamp = anscache.Stamp{
+				First:   loS,
+				Epochs:  make([]uint64, hiS-loS+1),
+				Summary: sumEpoch,
+			}
+			for j := loS; j <= hiS; j++ {
+				stamp.Epochs[j-loS] = qs.epochs[j].Load()
+			}
+		}
 		for j := loS; j <= hiS; j++ {
 			qs.shards[j].mu.RUnlock()
 		}
 		if err != nil {
-			return nil, err
+			return nil, anscache.Stamp{}, err
 		}
 		if ans != nil {
-			return ans, nil
+			return ans, stamp, nil
 		}
 		if widenLo && loS > 0 {
 			loS--
@@ -103,8 +128,9 @@ type shardRun struct {
 // queryWindow builds the answer under the currently held shard locks,
 // or reports which direction the lock window must grow. A nil answer
 // with neither widen flag set never happens (domain edges resolve to
-// sentinels, not to widening).
-func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, bool, bool, error) {
+// sentinels, not to widening). The second result is the summary-stream
+// epoch at the moment the answer's summaries were sliced.
+func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, uint64, bool, bool, error) {
 	w := &window{qs: qs, loS: loS, hiS: hiS}
 	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
 	ans := &Answer{Chain: ca}
@@ -124,7 +150,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 		leftB, lok := w.pred(lo)
 		rightB, rok := w.succ(hi)
 		if w.widenLo || w.widenHi {
-			return nil, w.widenLo, w.widenHi, nil
+			return nil, 0, w.widenLo, w.widenHi, nil
 		}
 		var anchorEntry btree.Entry
 		switch {
@@ -133,11 +159,11 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 		case rok:
 			anchorEntry = rightB
 		default:
-			return nil, false, false, fmt.Errorf("core: empty relation cannot prove emptiness")
+			return nil, 0, false, false, fmt.Errorf("core: empty relation cannot prove emptiness")
 		}
 		rec, ok := qs.shards[qs.shardOf(anchorEntry.Key)].recs[anchorEntry.Key]
 		if !ok {
-			return nil, false, false, fmt.Errorf("core: missing record body for key %d", anchorEntry.Key)
+			return nil, 0, false, false, fmt.Errorf("core: missing record body for key %d", anchorEntry.Key)
 		}
 		la, ra := chain.MinRef, chain.MaxRef
 		if p, ok := w.pred(anchorEntry.Key); ok {
@@ -147,7 +173,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 			ra = entryRef(su)
 		}
 		if w.widenLo || w.widenHi {
-			return nil, w.widenLo, w.widenHi, nil
+			return nil, 0, w.widenLo, w.widenHi, nil
 		}
 		ca.Anchor = rec
 		ca.AnchorLeft, ca.Right = la, ra
@@ -161,7 +187,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 			ca.Right = entryRef(e)
 		}
 		if w.widenLo || w.widenHi {
-			return nil, w.widenLo, w.widenHi, nil
+			return nil, 0, w.widenLo, w.widenHi, nil
 		}
 		ca.Records = make([]*Record, 0, total)
 		for _, run := range runs {
@@ -169,7 +195,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 			for _, e := range run.entries {
 				rec, ok := sh.recs[e.Key]
 				if !ok {
-					return nil, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
+					return nil, 0, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
 				}
 				ca.Records = append(ca.Records, rec)
 				if oldestTS == -1 || rec.TS < oldestTS {
@@ -179,7 +205,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 		}
 		agg, ops, err := qs.aggregateRuns(runs, lo, hi, total)
 		if err != nil {
-			return nil, false, false, err
+			return nil, 0, false, false, err
 		}
 		ca.Agg = agg
 		ans.Ops = ops
@@ -195,8 +221,9 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, b
 	})
 	n := len(qs.summaries)
 	ans.Summaries = qs.summaries[i:n:n]
+	sumEpoch := qs.sumEpoch.Load()
 	qs.sumMu.RUnlock()
-	return ans, false, false, nil
+	return ans, sumEpoch, false, false, nil
 }
 
 // aggregateRuns builds the range aggregate: through the SigCache when

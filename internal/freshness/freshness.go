@@ -48,7 +48,14 @@ func (s *Summary) Digest() digest.Digest {
 // SizeBytes is the transmitted summary size: compressed bitmap, header
 // fields and signature.
 func (s *Summary) SizeBytes(scheme sigagg.Scheme) int {
-	return len(s.Compressed) + 24 + scheme.SignatureSize()
+	return s.Size(scheme.SignatureSize())
+}
+
+// Size is SizeBytes with the scheme's signature size pre-resolved, so
+// answer-sizing loops look the size up once per scheme instead of once
+// per summary.
+func (s *Summary) Size(sigSize int) int {
+	return len(s.Compressed) + 24 + sigSize
 }
 
 // SignFunc produces a signature over a summary digest. It lets the

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"authdb/internal/core"
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/workload"
+)
+
+// smokeConfig is a seconds-scale run over the zero-cost scheme.
+func smokeConfig() Config {
+	cfg := DefaultConfig(xortest.New())
+	cfg.N = 2_000
+	cfg.Ranges = 32
+	cfg.SF = 0.005
+	cfg.Clients = []int{1, 2}
+	cfg.Duration = 60 * time.Millisecond
+	cfg.UpdateEvery = 3 * time.Millisecond
+	cfg.VerifyEvery = 8
+	return cfg
+}
+
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CorrectnessChecked {
+		t.Fatal("correctness sweep did not run")
+	}
+	if len(rep.Points) != 4 { // {1,2} clients × {cold, cached}
+		t.Fatalf("expected 4 points, got %d", len(rep.Points))
+	}
+	var hits uint64
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.Total.Count == 0 {
+			t.Fatalf("empty point %+v", p)
+		}
+		if p.Cached {
+			hits += p.CacheHits
+		} else if p.CacheHits != 0 || p.CacheBuilt != 0 {
+			t.Fatalf("cold point used the cache: %+v", p)
+		}
+		if p.Verified == 0 {
+			t.Fatalf("point verified no answers: %+v", p)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("cached points never hit the cache")
+	}
+	if rep.ColdQPS <= 0 || rep.CachedQPS <= 0 {
+		t.Fatalf("headline QPS missing: %+v", rep)
+	}
+}
+
+// TestServeReflectsUpdates drives the real wire codec end to end: a
+// cached range, an intersecting update, and the requirement that the
+// next serve decodes to the fresh record.
+func TestServeReflectsUpdates(t *testing.T) {
+	sys, err := core.NewSystem(xortest.New(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := workload.Records(workload.Config{N: 1_000, RecLen: 64, Seed: 5})
+	msg, err := sys.DA.Load(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnableCache(sys.QS, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Keys(recs)
+	lo, hi := keys[100], keys[140]
+
+	for i := 0; i < 2; i++ { // build, then hit
+		sv, err := sys.QS.Serve(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Verifier.VerifyAnswer(sv.Answer, lo, hi, 10_000); err != nil {
+			t.Fatalf("serve %d failed verification: %v", i, err)
+		}
+		sv.Release()
+	}
+	st := sys.QS.ServingStats().Answers
+	if st.Hits != 1 || st.Built != 1 {
+		t.Fatalf("expected one build and one hit: %+v", st)
+	}
+
+	up, err := sys.DA.Update(keys[120], [][]byte{[]byte("fresh")}, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(up); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := sys.QS.Serve(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv.Release()
+	if sv.Source != core.ServedBuilt {
+		t.Fatalf("post-update serve came from %v, want a rebuild", sv.Source)
+	}
+	found := false
+	for _, r := range sv.Answer.Chain.Records {
+		if r.Key == keys[120] && r.TS == 777 && string(r.Attrs[0]) == "fresh" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-update serve does not carry the fresh record")
+	}
+	if _, err := sys.Verifier.VerifyAnswer(sv.Answer, lo, hi, 10_000); err != nil {
+		t.Fatalf("post-update serve failed verification: %v", err)
+	}
+}

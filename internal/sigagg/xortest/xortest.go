@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"authdb/internal/sigagg"
 )
@@ -20,11 +21,22 @@ import (
 // signature's 20 bytes for space accounting).
 const SigSize = 20
 
-// Scheme is the XOR test scheme.
-type Scheme struct{}
+// Scheme is the XOR test scheme. Each instance carries its own
+// aggregation-operation counter, so a test can hand a fresh New() to the
+// system under test and assert exactly how many aggregations ran.
+type Scheme struct {
+	aggOps atomic.Uint64 // Aggregate/AggregateInto/Add/Remove calls
+}
 
 // New returns the scheme.
 func New() *Scheme { return &Scheme{} }
+
+// AggOps reports how many aggregation operations (Aggregate,
+// AggregateInto, Add, Remove calls) this instance has performed.
+func (s *Scheme) AggOps() uint64 { return s.aggOps.Load() }
+
+// ResetAggOps zeroes the aggregation-operation counter.
+func (s *Scheme) ResetAggOps() { s.aggOps.Store(0) }
 
 func init() { sigagg.Register(New()) }
 
@@ -95,8 +107,11 @@ func (s *Scheme) Verify(pub sigagg.PublicKey, digest []byte, sig sigagg.Signatur
 	return s.AggregateVerify(pub, [][]byte{digest}, sig)
 }
 
-// Aggregate implements sigagg.Scheme: XOR of all signatures.
+// Aggregate implements sigagg.Scheme: XOR of all signatures. (Add and
+// Remove route through here, so counting in Aggregate and AggregateInto
+// covers every aggregation entry point exactly once.)
 func (s *Scheme) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
+	s.aggOps.Add(1)
 	acc := make(sigagg.Signature, SigSize)
 	for _, sig := range sigs {
 		if len(sig) != SigSize {
@@ -112,6 +127,7 @@ func (s *Scheme) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
 // AggregateInto implements sigagg.BatchAggregator: XOR of all
 // signatures folded into dst when it has capacity.
 func (s *Scheme) AggregateInto(dst sigagg.Signature, sigs []sigagg.Signature) (sigagg.Signature, error) {
+	s.aggOps.Add(1)
 	if cap(dst) < SigSize {
 		dst = make(sigagg.Signature, SigSize)
 	}

@@ -108,6 +108,52 @@ func (g *QueryGen) Next() RangeQuery {
 	return RangeQuery{Lo: g.keys[start], Hi: g.keys[start+card-1], Card: card}
 }
 
+// HotRangeGen draws range selections from a fixed catalog of candidate
+// ranges with Zipf-distributed popularity: rank 0 is the hottest range
+// and the tail is long — the request skew of a serving workload where
+// millions of users keep asking the same few ranges. Each generator
+// owns its RNG, so concurrent clients sharing one catalog (required for
+// their requests to coincide) each get an independent draw stream.
+type HotRangeGen struct {
+	catalog []RangeQuery
+	zipf    *rand.Zipf
+}
+
+// NewHotRangeCatalog builds nRanges candidate ranges over the sorted
+// keys with selectivity uniform in [sf/2, 3sf/2] (the §5.1 shape). The
+// catalog is what clients must share; hand each client its own
+// HotRangeGen over it.
+func NewHotRangeCatalog(keys []int64, nRanges int, sf float64, seed int64) []RangeQuery {
+	qg := NewQueryGen(keys, sf, seed)
+	catalog := make([]RangeQuery, nRanges)
+	for i := range catalog {
+		catalog[i] = qg.Next()
+	}
+	return catalog
+}
+
+// NewHotRangeGen creates a generator over a shared catalog (which must
+// be non-empty). theta > 1 is the Zipf exponent (1.07 is the
+// YCSB-style default; larger is more skewed).
+func NewHotRangeGen(catalog []RangeQuery, theta float64, seed int64) *HotRangeGen {
+	if len(catalog) == 0 {
+		panic("workload: empty hot-range catalog")
+	}
+	if theta <= 1 {
+		theta = 1.07
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &HotRangeGen{
+		catalog: catalog,
+		zipf:    rand.NewZipf(rng, theta, 1, uint64(len(catalog)-1)),
+	}
+}
+
+// Next draws one range by Zipf rank.
+func (g *HotRangeGen) Next() RangeQuery {
+	return g.catalog[g.zipf.Uint64()]
+}
+
 // UpdateGen draws records to modify, uniformly.
 type UpdateGen struct {
 	keys []int64

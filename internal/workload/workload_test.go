@@ -156,3 +156,41 @@ func TestSelectRUncontrolled(t *testing.T) {
 		t.Fatalf("selected %d, want 500", len(sel))
 	}
 }
+
+func TestHotRangeGen(t *testing.T) {
+	recs := Records(Config{N: 10_000, RecLen: 64, Seed: 3})
+	keys := Keys(recs)
+	catalog := NewHotRangeCatalog(keys, 128, 0.001, 7)
+	if len(catalog) != 128 {
+		t.Fatalf("catalog size %d", len(catalog))
+	}
+	for _, q := range catalog {
+		if q.Lo > q.Hi || q.Card < 1 {
+			t.Fatalf("bad catalog range %+v", q)
+		}
+	}
+	counts := make(map[int64]int)
+	g := NewHotRangeGen(catalog, 1.2, 11)
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		q := g.Next()
+		counts[q.Lo<<20|q.Hi&0xfffff]++
+	}
+	// Zipf rank 0 (the hottest range) must dominate a uniform share.
+	hot := catalog[0]
+	if got := counts[hot.Lo<<20|hot.Hi&0xfffff]; got < 4*draws/len(catalog) {
+		t.Fatalf("hottest range drew only %d of %d (uniform share %d): not skewed",
+			got, draws, draws/len(catalog))
+	}
+	// Two generators over one catalog must emit ranges from the catalog.
+	g2 := NewHotRangeGen(catalog, 1.2, 99)
+	seen := make(map[RangeQuery]bool, len(catalog))
+	for _, q := range catalog {
+		seen[q] = true
+	}
+	for i := 0; i < 100; i++ {
+		if q := g2.Next(); !seen[q] {
+			t.Fatalf("generator emitted range %+v outside the catalog", q)
+		}
+	}
+}
