@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest serve clean
+.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness
 
 vet:
 	$(GO) vet ./...
@@ -34,9 +34,17 @@ ingest:
 	$(GO) run ./cmd/authbench ingest -n $(BENCH_N)
 
 # Emit BENCH_serve.json (answer cache + coalescing, cold vs cached QPS).
-serve:
+bench-serve:
 	$(GO) run ./cmd/authbench serve -n $(BENCH_N)
+
+# Emit BENCH_net.json (verifying clients over real loopback TCP sockets).
+bench-net:
+	$(GO) run ./cmd/authbench net -n $(BENCH_N)
+
+# Run the networked serving daemon (Ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/authserve serve -n $(BENCH_N)
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json
+	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json

@@ -8,7 +8,7 @@
 //	authbench <experiment> [flags]
 //
 // Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
-// fig11 proof ingest serve all
+// fig11 proof ingest serve net all
 //
 // Absolute numbers depend on the host; the substitutions versus the
 // paper's testbed are catalogued in DESIGN.md.
@@ -18,6 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/bas"
+	"authdb/internal/sigagg/crsa"
+	"authdb/internal/sigagg/xortest"
 )
 
 type experiment struct {
@@ -40,6 +46,7 @@ var experiments = []experiment{
 	{"proof", "aggregation-tree vs linear proof construction (writes BENCH_proof.json)", runProof},
 	{"ingest", "pipelined vs serial signing & batch verification (writes BENCH_ingest.json)", runIngest},
 	{"serve", "answer cache + coalescing serving layer, cold vs cached (writes BENCH_serve.json)", runServe},
+	{"net", "networked serving: verifying clients over loopback TCP (writes BENCH_net.json)", runNet},
 }
 
 func main() {
@@ -87,4 +94,19 @@ func usage() {
 func newFlags(name string) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	return fs
+}
+
+// schemeFromFlag resolves the -scheme flag the serving benchmarks
+// share: bas with zero pairing cost (raw curve speed), condensed RSA,
+// or the zero-cost counting scheme.
+func schemeFromFlag(name string) (sigagg.Scheme, error) {
+	switch strings.TrimSpace(name) {
+	case "bas":
+		return bas.New(0), nil
+	case "crsa":
+		return crsa.New(crsa.DefaultBits), nil
+	case "xortest":
+		return xortest.New(), nil
+	}
+	return nil, fmt.Errorf("unknown scheme %q", name)
 }

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"authdb/internal/server"
+)
+
+// runNet drives the networked serving front end: closed-loop verifying
+// clients over real loopback TCP sockets (pipelined wire frames)
+// against a live authserve stack, with a writer publishing updates and
+// ρ-period summaries, writing BENCH_net.json.
+func runNet(args []string) error {
+	fs := newFlags("net")
+	schemeName := fs.String("scheme", "bas", "scheme (bas, crsa, xortest)")
+	n := fs.Int("n", 100_000, "relation size")
+	ranges := fs.Int("ranges", 512, "hot-range catalog size")
+	sf := fs.Float64("sf", 0.0005, "selectivity factor")
+	theta := fs.Float64("theta", 1.07, "zipf exponent (>1)")
+	clients := fs.String("clients", "", "comma-separated client counts (default 1..GOMAXPROCS, doubling)")
+	pipeline := fs.Int("pipeline", 8, "queries pipelined per batch round trip")
+	durMS := fs.Int("dur", 1500, "timed window per point (ms)")
+	updEveryMS := fs.Float64("update-every", 2, "writer cadence (ms; 0 = read-only)")
+	sumEvery := fs.Int("summary-every", 25, "close a ρ-period every k updates (0 = never)")
+	cacheMB := fs.Int64("cache-mb", 64, "answer-cache budget (MiB; 0 = uncached)")
+	shards := fs.Int("shards", 64, "QueryServer key-range shards")
+	verifyEvery := fs.Int("verify-every", 16, "client-verify every k-th batch in the loop")
+	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short windows")
+	check := fs.Bool("check", true, "full client-side verification sweep over the catalog")
+	out := fs.String("out", "BENCH_net.json", "output JSON path (empty to skip)")
+	validate := fs.String("validate", "", "validate an existing BENCH_net.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *validate != "" {
+		return checkNetJSON(*validate)
+	}
+
+	scheme, err := schemeFromFlag(*schemeName)
+	if err != nil {
+		return fmt.Errorf("net: %w", err)
+	}
+
+	cfg := server.DefaultNetBenchConfig(scheme)
+	cfg.N = *n
+	cfg.Ranges = *ranges
+	cfg.SF = *sf
+	cfg.Theta = *theta
+	cfg.Pipeline = *pipeline
+	cfg.Duration = time.Duration(*durMS) * time.Millisecond
+	cfg.UpdateEvery = time.Duration(*updEveryMS * float64(time.Millisecond))
+	cfg.SummaryEvery = *sumEvery
+	cfg.CacheBytes = *cacheMB << 20
+	cfg.Shards = *shards
+	cfg.VerifyEvery = *verifyEvery
+	cfg.Check = *check
+	if *short {
+		cfg.N = 5_000
+		cfg.Ranges = 64
+		cfg.SF = 0.002
+		cfg.Duration = 200 * time.Millisecond
+		cfg.VerifyEvery = 4
+		cfg.SummaryEvery = 10
+	}
+	if *clients != "" {
+		cfg.Clients = nil
+		for _, c := range strings.Split(*clients, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || v < 1 {
+				return fmt.Errorf("net: bad client count %q", c)
+			}
+			cfg.Clients = append(cfg.Clients, v)
+		}
+	}
+
+	rep, err := server.RunNet(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("net: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// checkNetJSON validates that a BENCH_net.json is well-formed: every
+// point moved real traffic across the socket with client-side
+// verification, and the full verification sweep ran.
+func checkNetJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep server.NetReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("net: %s is not valid JSON: %w", path, err)
+	}
+	if !rep.CorrectnessChecked {
+		return fmt.Errorf("net: %s: full verification sweep did not run", path)
+	}
+	if rep.SweepVerified == 0 {
+		return fmt.Errorf("net: %s: sweep verified no answers", path)
+	}
+	if len(rep.Points) == 0 {
+		return fmt.Errorf("net: %s: no measured points", path)
+	}
+	for _, p := range rep.Points {
+		if p.QPS <= 0 || p.PerOp.Count <= 0 {
+			return fmt.Errorf("net: %s: empty point %+v", path, p)
+		}
+		if p.Verified == 0 {
+			return fmt.Errorf("net: %s: point clients=%d verified no answers in the loop", path, p.Clients)
+		}
+	}
+	if rep.Server.Queries == 0 || rep.Server.BytesOut == 0 {
+		return fmt.Errorf("net: %s: server moved no traffic (%+v)", path, rep.Server)
+	}
+	fmt.Printf("net: %s is well-formed (%d points, peak %.0f qps, %d answers verified in sweep)\n",
+		path, len(rep.Points), rep.MaxQPS, rep.SweepVerified)
+	return nil
+}

@@ -9,10 +9,6 @@ import (
 	"time"
 
 	"authdb/internal/server"
-	"authdb/internal/sigagg"
-	"authdb/internal/sigagg/bas"
-	"authdb/internal/sigagg/crsa"
-	"authdb/internal/sigagg/xortest"
 )
 
 // runServe drives the concurrent serving layer: closed-loop clients
@@ -44,16 +40,9 @@ func runServe(args []string) error {
 		return checkServeJSON(*check)
 	}
 
-	var scheme sigagg.Scheme
-	switch strings.TrimSpace(*schemeName) {
-	case "bas":
-		scheme = bas.New(0)
-	case "crsa":
-		scheme = crsa.New(crsa.DefaultBits)
-	case "xortest":
-		scheme = xortest.New()
-	default:
-		return fmt.Errorf("serve: unknown scheme %q", *schemeName)
+	scheme, err := schemeFromFlag(*schemeName)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 
 	cfg := server.DefaultConfig(scheme)

@@ -36,6 +36,17 @@
 // wire codec and drives the closed-loop zipfian serving benchmark
 // (BENCH_serve.json).
 //
+// The network front end turns the library into a deployable system:
+// server.NetServer (daemon: cmd/authserve) exposes the wire protocol
+// over TCP — length-prefixed frames, pipelined in-order responses,
+// zero-copy writes from the answer cache's pooled encodings, graceful
+// shutdown — and internal/client is the remote user: it pipelines range
+// queries, recomputes every chain digest, batch-verifies aggregates and
+// tracks the certified freshness summary stream, trusting only the
+// aggregator's public key. authbench net measures the path over real
+// loopback sockets with full client-side verification (BENCH_net.json);
+// examples/remote is the end-to-end walkthrough.
+//
 // Aggregate-signature schemes live under internal/sigagg: bilinear
 // aggregate signatures (sigagg/bas), condensed RSA (sigagg/crsa) and a
 // zero-cost counting scheme for experiments (sigagg/xortest), all

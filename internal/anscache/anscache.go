@@ -378,6 +378,12 @@ func (c *Cache) runBuild(sh *cshard, key Key, f *flight, build func() (*Entry, e
 		if r != nil {
 			e, err = nil, fmt.Errorf("anscache: build for [%d,%d] panicked: %v", key.Lo, key.Hi, r)
 		}
+		if e == nil && err == nil {
+			// A (nil, nil) build would nil-panic below while sh.mu is
+			// held and before the flight resolves — turning one broken
+			// builder into a wedged cache shard. Fail the flight instead.
+			err = fmt.Errorf("anscache: build for [%d,%d] returned no entry", key.Lo, key.Hi)
+		}
 		sh.mu.Lock()
 		delete(sh.flights, key)
 		f.entry, f.err = e, err

@@ -1,0 +1,387 @@
+// Package client is the user side of the networked serving protocol: a
+// verifying client that speaks the wire format over TCP, pipelines
+// range queries, and checks every verified answer for authenticity,
+// completeness (recomputed chain digests, batch-verified aggregates via
+// chain.VerifyBatch under core.Verifier.VerifyAnswers) and freshness
+// against the certified summary stream it tracks from the server.
+//
+// The server is untrusted: nothing it sends is believed until the
+// verifier has checked it against the data aggregator's public key.
+// A Client is not safe for concurrent use — it owns one connection and
+// one verifier state; concurrent users each dial their own.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"authdb/internal/core"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+	"authdb/internal/wire"
+)
+
+// Config parameterizes a client session.
+type Config struct {
+	// Scheme and Pub identify the data aggregator whose certifications
+	// the client trusts. Both are required.
+	Scheme sigagg.Scheme
+	Pub    sigagg.PublicKey
+	// Protocol supplies ρ and ρ' (zero value = core.DefaultConfig()).
+	Protocol core.Config
+	// MaxFrame caps a response frame's payload (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds connection establishment (0 = no limit).
+	DialTimeout time.Duration
+	// Now supplies the protocol clock used for freshness bounds. The
+	// protocol's timestamps are logical; by default every certified
+	// answer is simply checked against all summaries held.
+	Now func() int64
+}
+
+// Stats are the client's monotonic counters.
+type Stats struct {
+	Queries   uint64 // answers fetched
+	Verified  uint64 // answers that passed full verification
+	Summaries uint64 // certified summaries ingested
+	BytesIn   uint64 // response payload bytes received
+}
+
+// Client is one verifying session against a networked query server.
+type Client struct {
+	cfg      Config
+	conn     net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	verifier *core.Verifier
+	frame    []byte // reusable response frame buffer
+	stats    Stats
+}
+
+// Dial connects to a query server at addr.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.Scheme == nil || cfg.Pub == nil {
+		return nil, fmt.Errorf("client: scheme and public key are required")
+	}
+	if cfg.Protocol == (core.Config{}) {
+		cfg.Protocol = core.DefaultConfig()
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return 1 << 62 }
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return &Client{
+		cfg:      cfg,
+		conn:     conn,
+		br:       bufio.NewReaderSize(conn, 64<<10),
+		bw:       bufio.NewWriterSize(conn, 16<<10),
+		verifier: core.NewVerifier(cfg.Scheme, cfg.Pub, cfg.Protocol),
+	}, nil
+}
+
+// Close tears the connection down. The verifier state (ingested
+// summaries) is discarded with the client.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats snapshots the session counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// SummaryCount reports how many certified summaries the session holds.
+func (c *Client) SummaryCount() int { return c.verifier.SummaryCount() }
+
+// readFrame reads one response frame into the client's reusable buffer.
+// The result is valid until the next read.
+func (c *Client) readFrame() ([]byte, error) {
+	data, err := wire.ReadFrame(c.br, c.frame, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	c.frame = data
+	c.stats.BytesIn += uint64(len(data)) + 4
+	return data, nil
+}
+
+// ErrServer wraps error responses the server sent ('E' frames).
+var ErrServer = errors.New("client: server error")
+
+// decodeAnswerFrame interprets one response frame as an answer or a
+// server-reported error.
+func decodeAnswerFrame(data []byte) (*core.Answer, error) {
+	kind, err := wire.Kind(data)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case 'A':
+		return wire.DecodeAnswer(data)
+	case 'E':
+		msg, err := wire.DecodeError(data)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+	default:
+		return nil, fmt.Errorf("%w: unexpected response kind %q", wire.ErrCorrupt, kind)
+	}
+}
+
+// Fetch round-trips one range query and decodes the answer without
+// verifying it. Callers that trust nothing (all of them — the server is
+// untrusted) pass the result through Verify, or use Query.
+func (c *Client) Fetch(lo, hi int64) (*core.Answer, error) {
+	answers, err := c.FetchBatch([]core.Range{{Lo: lo, Hi: hi}})
+	if err != nil {
+		return nil, err
+	}
+	return answers[0], nil
+}
+
+// FetchBatch pipelines the range queries on the connection — all
+// requests are written before any response is read, so the batch costs
+// one round trip — and decodes the in-order answers. If the server
+// reported errors for some queries, every response is still drained
+// (the connection stays usable) and the first error is returned.
+func (c *Client) FetchBatch(ranges []core.Range) ([]*core.Answer, error) {
+	if len(ranges) == 0 {
+		return nil, nil
+	}
+	req := wire.GetBuffer()
+	for _, r := range ranges {
+		req = wire.AppendQueryReq(req[:0], r.Lo, r.Hi)
+		if err := wire.WriteFrame(c.bw, req); err != nil {
+			wire.PutBuffer(req)
+			return nil, err
+		}
+	}
+	wire.PutBuffer(req)
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	answers := make([]*core.Answer, len(ranges))
+	var firstErr error
+	for i := range ranges {
+		data, err := c.readFrame()
+		if err != nil {
+			return nil, err // transport loss: responses can no longer be matched
+		}
+		ans, err := decodeAnswerFrame(data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("client: query [%d,%d]: %w", ranges[i].Lo, ranges[i].Hi, err)
+			}
+			if !errors.Is(err, ErrServer) {
+				return nil, firstErr // undecodable frame: cannot stay in sync
+			}
+			continue
+		}
+		answers[i] = ans
+		c.stats.Queries++
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return answers, nil
+}
+
+// Verify checks fetched answers: chain digests are recomputed and the
+// aggregates batch-verified (chain.VerifyBatch via the scheme's batched
+// primitives), attached summaries are ingested, and every record's
+// freshness is bounded against the summaries held. ranges[i] is the
+// selection answer i must cover.
+//
+// An answer attaches only the summaries published since its oldest
+// result signature, so a session that skipped some periods can face a
+// sequence gap; Verify bridges it by fetching the missing certified
+// summaries from the server first (each is still signature-checked and
+// chain-checked — the server is trusted for availability only). A
+// freshness.ErrStale from Verify is the protocol working: a summary
+// proves a newer version of an answered record exists, and the caller
+// re-queries.
+func (c *Client) Verify(answers []*core.Answer, ranges []core.Range) ([]*core.FreshnessReport, error) {
+	if err := c.bridgeSummaries(answers); err != nil {
+		return nil, err
+	}
+	reports, err := c.verifier.VerifyAnswers(answers, ranges, c.cfg.Now())
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Verified += uint64(len(answers))
+	return reports, nil
+}
+
+// bridgeSummaries ingests every summary attached to the answers, in
+// sequence order, fetching any sequence numbers the attachments skip
+// from the server. Ingestion is capped at the newest attached summary:
+// summaries published after the answers were built are deliberately not
+// pulled in here, so a batch is always judged against the stream as of
+// its own construction.
+func (c *Client) bridgeSummaries(answers []*core.Answer) error {
+	held := uint64(0)
+	if latest, ok := c.verifier.LatestSummary(); ok {
+		held = latest.Seq
+	}
+	var max uint64
+	bySeq := make(map[uint64]*freshness.Summary)
+	for _, ans := range answers {
+		if ans == nil {
+			continue
+		}
+		for i := range ans.Summaries {
+			s := &ans.Summaries[i]
+			if s.Seq > held {
+				bySeq[s.Seq] = s
+			}
+			if s.Seq > max {
+				max = s.Seq
+			}
+		}
+	}
+	if max <= held {
+		return nil
+	}
+	for seq := held + 1; seq <= max; seq++ {
+		s, ok := bySeq[seq]
+		if !ok {
+			// Fetch the next page of the gap from the server. Everything
+			// up to seq-1 is ingested, so the cursor is just past the
+			// newest held summary; the server's stream is TS-ordered and
+			// seq-contiguous, so the page starts exactly at seq (capped
+			// responses may need one fetch per page, hence per-seq).
+			sinceTS := int64(0)
+			if latest, lok := c.verifier.LatestSummary(); lok {
+				sinceTS = latest.TS + 1
+			}
+			sums, err := c.fetchSummaries(sinceTS)
+			if err != nil {
+				return err
+			}
+			for i := range sums {
+				if sums[i].Seq >= seq && sums[i].Seq <= max {
+					if _, dup := bySeq[sums[i].Seq]; !dup {
+						bySeq[sums[i].Seq] = &sums[i]
+					}
+				}
+			}
+			if s, ok = bySeq[seq]; !ok {
+				return fmt.Errorf("client: summary %d unavailable from answers and server", seq)
+			}
+		}
+		if err := c.verifier.IngestSummary(*s); err != nil {
+			return fmt.Errorf("client: summary %d: %w", seq, err)
+		}
+		c.stats.Summaries++
+	}
+	return nil
+}
+
+// Query is Fetch plus full verification of the answer.
+func (c *Client) Query(lo, hi int64) (*core.Answer, *core.FreshnessReport, error) {
+	answers, reports, err := c.QueryBatch([]core.Range{{Lo: lo, Hi: hi}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return answers[0], reports[0], nil
+}
+
+// QueryBatch pipelines the queries and batch-verifies all answers in
+// one pass.
+func (c *Client) QueryBatch(ranges []core.Range) ([]*core.Answer, []*core.FreshnessReport, error) {
+	answers, err := c.FetchBatch(ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	reports, err := c.Verify(answers, ranges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answers, reports, nil
+}
+
+// SyncSummaries fetches the certified summaries published at or after
+// since and ingests the ones newer than the session already holds
+// (each is signature-checked and must chain onto the held sequence).
+// It returns how many were ingested. A fresh session syncs from 0 —
+// the log-in back-history fetch of §3.1 — and thereafter picks up new
+// summaries from the answers themselves. The server caps each response
+// frame, so the sync pages with advancing since-timestamps until a
+// response comes back empty.
+func (c *Client) SyncSummaries(since int64) (int, error) {
+	total := 0
+	cursor := since
+	for {
+		sums, err := c.fetchSummaries(cursor)
+		if err != nil {
+			return total, err
+		}
+		if len(sums) == 0 {
+			return total, nil
+		}
+		n, err := c.ingestSummaries(sums)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		next := sums[len(sums)-1].TS + 1
+		if next <= cursor {
+			return total, nil // defensive: a non-advancing server cannot loop us
+		}
+		cursor = next
+	}
+}
+
+// fetchSummaries round-trips one summaries-since request.
+func (c *Client) fetchSummaries(since int64) ([]freshness.Summary, error) {
+	req := wire.AppendSummariesReq(wire.GetBuffer(), since)
+	werr := wire.WriteFrame(c.bw, req)
+	wire.PutBuffer(req)
+	if werr != nil {
+		return nil, werr
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	data, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := wire.Kind(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind == 'E' {
+		msg, err := wire.DecodeError(data)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+	}
+	return wire.DecodeSummaries(data)
+}
+
+// ingestSummaries folds a summary batch into the verifier, skipping
+// sequence numbers already held.
+func (c *Client) ingestSummaries(sums []freshness.Summary) (int, error) {
+	held := uint64(0)
+	if latest, ok := c.verifier.LatestSummary(); ok {
+		held = latest.Seq
+	}
+	n := 0
+	for _, s := range sums {
+		if s.Seq <= held {
+			continue
+		}
+		if err := c.verifier.IngestSummary(s); err != nil {
+			return n, fmt.Errorf("client: summary %d: %w", s.Seq, err)
+		}
+		held = s.Seq
+		n++
+	}
+	c.stats.Summaries += uint64(n)
+	return n, nil
+}

@@ -1,0 +1,145 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/server"
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/wire"
+	"authdb/internal/workload"
+)
+
+// fixture boots a loaded system behind a loopback NetServer.
+func fixture(t *testing.T, n int) (*core.System, []int64, string) {
+	t.Helper()
+	sys, err := core.NewSystem(xortest.New(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := workload.Records(workload.Config{N: n, RecLen: 64, Seed: 3})
+	keys := workload.Keys(recs)
+	msg, err := sys.DA.Load(recs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewNetServer(sys.QS, server.NetConfig{})
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return sys, keys, ln.Addr().String()
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1", client.Config{}); err == nil {
+		t.Fatal("Dial accepted a config without scheme/key")
+	}
+}
+
+func TestPipelinedOrdering(t *testing.T) {
+	sys, keys, addr := fixture(t, 400)
+	cl, err := client.Dial(addr, client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ranges := make([]core.Range, 16)
+	for i := range ranges {
+		ranges[i] = core.Range{Lo: keys[i*20], Hi: keys[i*20+10]}
+	}
+	answers, _, err := cl.QueryBatch(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ans := range answers {
+		if ans.Chain.Lo != ranges[i].Lo || ans.Chain.Hi != ranges[i].Hi {
+			t.Fatalf("response %d is for [%d,%d], requested [%d,%d]",
+				i, ans.Chain.Lo, ans.Chain.Hi, ranges[i].Lo, ranges[i].Hi)
+		}
+		if len(ans.Chain.Records) != 11 {
+			t.Fatalf("response %d: %d records, want 11", i, len(ans.Chain.Records))
+		}
+	}
+}
+
+// TestTamperedAnswerRejected: what the verifying client exists for —
+// bytes from the untrusted server are not believed.
+func TestTamperedAnswerRejected(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	cl, err := client.Dial(addr, client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ranges := []core.Range{{Lo: keys[5], Hi: keys[40]}}
+	answers, err := cl.FetchBatch(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Value forgery.
+	evil := *answers[0].Chain.Records[3]
+	evil.Attrs = [][]byte{[]byte("forged")}
+	answers[0].Chain.Records[3] = &evil
+	if _, err := cl.Verify(answers, ranges); err == nil {
+		t.Fatal("tampered answer verified")
+	}
+	// Record drop (completeness attack).
+	answers, err = cl.FetchBatch(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := answers[0].Chain
+	ca.Records = append(ca.Records[:7:7], ca.Records[8:]...)
+	if _, err := cl.Verify(answers, ranges); err == nil {
+		t.Fatal("incomplete answer verified")
+	}
+}
+
+// TestHostileServer: a peer that speaks garbage is rejected at the wire
+// layer, before any cryptographic check.
+func TestHostileServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		conn.Read(buf)
+		// A syntactically valid frame whose payload is not a protocol
+		// message.
+		wire.WriteFrame(conn, []byte{wire.Version, 'X', 1, 2, 3})
+	}()
+	sys, err := core.NewSystem(xortest.New(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(ln.Addr().String(), client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Fetch(1, 2); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("garbage frame: %v, want ErrCorrupt", err)
+	}
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"authdb/internal/chain"
 	"authdb/internal/freshness"
@@ -78,7 +79,17 @@ type System struct {
 // RSA). Options configure the query server (shards, parallelism,
 // baseline aggregation).
 func NewSystem(scheme sigagg.Scheme, cfg Config, qsOpts ...Option) (*System, error) {
-	priv, pub, err := scheme.KeyGen(nil)
+	return NewSystemWithRand(scheme, cfg, nil, qsOpts...)
+}
+
+// NewSystemWithRand is NewSystem with caller-supplied key-generation
+// entropy (nil = crypto/rand). A deterministic reader gives
+// reproducible keys — how the demo serving binary and its remote
+// clients agree on the aggregator's public key without a key-exchange
+// protocol; production deployments distribute the public key out of
+// band instead.
+func NewSystemWithRand(scheme sigagg.Scheme, cfg Config, rnd io.Reader, qsOpts ...Option) (*System, error) {
+	priv, pub, err := scheme.KeyGen(rnd)
 	if err != nil {
 		return nil, fmt.Errorf("core: keygen: %w", err)
 	}

@@ -49,6 +49,10 @@ func (v *Verifier) IngestSummary(s freshness.Summary) error {
 // SummaryCount reports how many summaries the verifier holds.
 func (v *Verifier) SummaryCount() int { return v.checker.Len() }
 
+// LatestSummary returns the most recent summary held, so a session
+// resuming a summary stream knows where to ingest from.
+func (v *Verifier) LatestSummary() (freshness.Summary, bool) { return v.checker.Latest() }
+
 // FreshnessReport is the per-record outcome of the freshness check.
 type FreshnessReport struct {
 	// MaxStaleness is the worst-case staleness bound across the answer's

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"authdb/internal/bitmap"
 	"authdb/internal/digest"
@@ -66,7 +67,13 @@ type SignFunc func(digest []byte) (sigagg.Signature, error)
 
 // Publisher is the data-aggregator side: it accumulates the current
 // period's update bitmap and certifies it on demand.
+//
+// A Publisher is safe for concurrent use: update marking, publication
+// and history reads may race freely — what a network front end does
+// when a writer closes periods while connections stream the back
+// history to logging-in users.
 type Publisher struct {
+	mu      sync.Mutex
 	scheme  sigagg.Scheme
 	priv    sigagg.PrivateKey
 	signFn  SignFunc
@@ -94,24 +101,36 @@ func NewPublisher(scheme sigagg.Scheme, priv sigagg.PrivateKey, numSlots int, st
 
 // SetSigner routes summary certification through fn. A nil fn restores
 // the direct scheme.Sign path.
-func (p *Publisher) SetSigner(fn SignFunc) { p.signFn = fn }
+func (p *Publisher) SetSigner(fn SignFunc) {
+	p.mu.Lock()
+	p.signFn = fn
+	p.mu.Unlock()
+}
 
 // MarkUpdated records that slot was inserted, deleted, modified or
 // re-certified during the current period. Slots beyond the current
 // bitmap length grow it (appended '1'-bits for inserted records).
 func (p *Publisher) MarkUpdated(slot int) {
+	p.mu.Lock()
 	p.cur.Set(slot)
 	p.touched[slot]++
+	p.mu.Unlock()
 }
 
 // PendingSlots returns the number of slots marked so far this period.
-func (p *Publisher) PendingSlots() int { return len(p.touched) }
+func (p *Publisher) PendingSlots() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.touched)
+}
 
 // Publish certifies the current period's bitmap at time ts, resets the
 // period, and returns the summary together with the slots that were
 // updated more than once (which the caller must re-certify during the
 // next period).
 func (p *Publisher) Publish(ts int64) (Summary, []int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if ts <= p.lastTS {
 		return Summary{}, nil, fmt.Errorf("freshness: publish time %d not after previous %d", ts, p.lastTS)
 	}
@@ -151,13 +170,28 @@ func (p *Publisher) Publish(ts int64) (Summary, []int, error) {
 	return s, multi, nil
 }
 
-// History returns the retained summaries in publication order.
-func (p *Publisher) History() []Summary { return p.history }
+// History returns the retained summaries in publication order. The
+// returned slice is the caller's own copy: it used to alias the
+// internal history, whose backing array later Publish calls keep
+// appending into after the maxHistory trim re-slices it, so elements a
+// caller had appended after the returned slice were silently
+// overwritten by the next publication.
+func (p *Publisher) History() []Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Summary(nil), p.history...)
+}
 
-// Since returns the retained summaries published at or after ts.
+// Since returns the retained summaries published at or after ts, as a
+// copy the publisher will never write through (see History).
 func (p *Publisher) Since(ts int64) []Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	i := sort.Search(len(p.history), func(i int) bool { return p.history[i].TS >= ts })
-	return p.history[i:]
+	if i == len(p.history) {
+		return nil
+	}
+	return append([]Summary(nil), p.history[i:]...)
 }
 
 // Checker is the user side: it validates incoming summaries and answers

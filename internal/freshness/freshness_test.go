@@ -237,3 +237,75 @@ func TestHistoryBound(t *testing.T) {
 }
 
 var _ = sigagg.ErrVerify // keep import
+
+// newTrimmedPublisher builds a publisher whose retained history has
+// been trimmed at least once, so the internal slice is a re-sliced
+// suffix of a backing array with spare capacity — the aliasing setup of
+// the History/Since regression below.
+func newTrimmedPublisher(t *testing.T, maxHist int, periods int) *Publisher {
+	t.Helper()
+	scheme := bas.New(0)
+	priv, _, err := scheme.KeyGen(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(scheme, priv, 64, 0, maxHist)
+	for i := 1; i <= periods; i++ {
+		p.MarkUpdated(i)
+		if _, _, err := p.Publish(int64(10 * i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestHistoryNoAliasingAfterPublish is the mutate-after-publish
+// regression for the shared-backing-array bug: History() and Since()
+// used to return the internal history slice, so a caller that appended
+// to the returned slice (accumulating a summary log, say) had its
+// elements silently overwritten when the next Publish appended into the
+// same backing array after the maxHistory trim re-sliced it.
+func TestHistoryNoAliasingAfterPublish(t *testing.T) {
+	p := newTrimmedPublisher(t, 2, 3) // history = [s2 s3], trimmed once
+	h := p.History()
+	if len(h) != 2 || h[0].Seq != 2 || h[1].Seq != 3 {
+		t.Fatalf("retained history = %+v, want seqs [2 3]", h)
+	}
+	// The caller extends its own slice...
+	h = append(h, Summary{Seq: 999})
+	// ...and the publisher closes another period.
+	p.MarkUpdated(4)
+	if _, _, err := p.Publish(40); err != nil {
+		t.Fatal(err)
+	}
+	if h[2].Seq != 999 {
+		t.Fatalf("caller's appended summary overwritten through shared backing array: seq = %d, want 999", h[2].Seq)
+	}
+	// And the caller mutating returned elements must not corrupt what
+	// the publisher hands out next.
+	h[0].Compressed = []byte("mutated")
+	h[0].Seq = 12345
+	if got := p.History(); got[0].Seq == 12345 {
+		t.Fatalf("caller mutation visible in publisher history: %+v", got[0])
+	}
+}
+
+// TestSinceNoAliasingAfterPublish is the same regression through Since.
+func TestSinceNoAliasingAfterPublish(t *testing.T) {
+	p := newTrimmedPublisher(t, 2, 3)
+	h := p.Since(25) // [s3] — a strict suffix with spare backing capacity
+	if len(h) != 1 || h[0].Seq != 3 {
+		t.Fatalf("Since(25) = %+v, want seq [3]", h)
+	}
+	h = append(h, Summary{Seq: 999})
+	p.MarkUpdated(4)
+	if _, _, err := p.Publish(40); err != nil {
+		t.Fatal(err)
+	}
+	if h[1].Seq != 999 {
+		t.Fatalf("caller's appended summary overwritten through shared backing array: seq = %d, want 999", h[1].Seq)
+	}
+	if got := p.Since(100); got != nil {
+		t.Fatalf("Since past the last summary = %+v, want nil", got)
+	}
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"authdb/internal/core"
+	"authdb/internal/wire"
+)
+
+// NetConfig bounds one listener's resource use.
+type NetConfig struct {
+	// MaxConns caps concurrently served connections; further accepts
+	// block until a slot frees. 0 means unlimited.
+	MaxConns int
+	// MaxFrame caps a request frame's payload bytes (0 =
+	// wire.DefaultMaxFrame). Responses are not bounded by it: the server
+	// knows what it sends.
+	MaxFrame int
+	// IdleTimeout closes a connection that sends no request for this
+	// long (0 = never).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (0 = never).
+	WriteTimeout time.Duration
+	// MaxSummaries caps the certified summaries returned per 'S'
+	// response (0 = DefaultMaxSummaries). A long-lived server's backlog
+	// grows without bound, so log-in syncs page through it: the client
+	// re-requests from the last received timestamp until a response
+	// comes back empty.
+	MaxSummaries int
+}
+
+// DefaultMaxSummaries bounds one summary response frame.
+const DefaultMaxSummaries = 2048
+
+// NetStats are the listener's monotonic counters.
+type NetStats struct {
+	Conns     uint64 // connections accepted
+	Queries   uint64 // 'Q' frames served
+	Summaries uint64 // 'S' frames served
+	Errors    uint64 // 'E' responses sent
+	BytesOut  uint64 // response payload bytes written
+}
+
+// NetServer exposes a QueryServer over a byte stream: length-prefixed
+// wire frames, one request per frame, responses in request order so
+// clients can pipeline. Cached answers are written zero-copy — the
+// entry's pooled wire bytes go straight from the answer cache to the
+// socket, held under the entry's reference count for exactly the
+// duration of the write.
+type NetServer struct {
+	qs    *core.QueryServer
+	cfg   NetConfig
+	codec core.AnswerCodec
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	drain    atomic.Bool // mirrors draining for lock-free handler checks
+
+	wg  sync.WaitGroup
+	sem chan struct{} // MaxConns slots, nil when unlimited
+
+	conNum    atomic.Uint64
+	queries   atomic.Uint64
+	summaries atomic.Uint64
+	errs      atomic.Uint64
+	bytesOut  atomic.Uint64
+}
+
+// NewNetServer wraps qs (whose answer cache, if wanted, the caller
+// enables via EnableCache) for network serving.
+func NewNetServer(qs *core.QueryServer, cfg NetConfig) *NetServer {
+	s := &NetServer{
+		qs:    qs,
+		cfg:   cfg,
+		codec: Codec(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr ("127.0.0.1:0" picks a free loopback
+// port, readable via Addr once this returns or from another goroutine
+// after Listen) and serves until Shutdown.
+func (s *NetServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Listen binds addr without serving, so callers can read Addr before
+// starting Serve on another goroutine.
+func (s *NetServer) Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln, nil
+}
+
+// Addr reports the bound listen address (nil before Listen/Serve).
+func (s *NetServer) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it, then waits
+// for in-flight connections it owns to finish draining. Always returns
+// a non-nil error; after Shutdown it is ErrServerClosed.
+func (s *NetServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		if s.sem != nil {
+			s.sem <- struct{}{}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.sem != nil {
+				<-s.sem
+			}
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			if s.sem != nil {
+				<-s.sem
+			}
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conNum.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+				if s.sem != nil {
+					<-s.sem
+				}
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and drains: every in-flight request is
+// answered and flushed, connections blocked waiting for their next
+// request are woken (an expired read deadline) and closed. If ctx
+// expires before the handlers exit the remaining connections are closed
+// forcibly, and Shutdown still waits for the handlers themselves.
+func (s *NetServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.drain.Store(true)
+	ln := s.ln
+	// Wake handlers blocked between requests; one mid-request finishes
+	// its writes and exits at its next read.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return err
+}
+
+// Stats snapshots the listener counters.
+func (s *NetServer) Stats() NetStats {
+	return NetStats{
+		Conns:     s.conNum.Load(),
+		Queries:   s.queries.Load(),
+		Summaries: s.summaries.Load(),
+		Errors:    s.errs.Load(),
+		BytesOut:  s.bytesOut.Load(),
+	}
+}
+
+// connWriter batches response writes per connection; bufio would do,
+// but counting bytes out at the flush boundary keeps the accounting in
+// one place.
+type connWriter struct {
+	conn net.Conn
+	s    *NetServer
+	buf  []byte
+}
+
+const connWriterSize = 64 << 10
+
+// frame appends one length-prefixed frame to the batch, flushing when
+// the batch is full.
+func (w *connWriter) frame(payload []byte) error {
+	if len(w.buf) > 0 && len(w.buf)+len(payload)+4 > connWriterSize {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	n := len(payload)
+	w.buf = append(w.buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	w.buf = append(w.buf, payload...)
+	if len(w.buf) >= connWriterSize {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *connWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if t := w.s.cfg.WriteTimeout; t > 0 {
+		w.conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	_, err := w.conn.Write(w.buf)
+	w.s.bytesOut.Add(uint64(len(w.buf)))
+	if cap(w.buf) > 4*connWriterSize {
+		w.buf = nil // do not pin a giant answer's worth of memory per idle conn
+	} else {
+		w.buf = w.buf[:0]
+	}
+	return err
+}
+
+// handle runs one connection's request loop: read a frame, dispatch,
+// and flush responses once no further request is already buffered (so
+// a pipelined burst is answered with one write).
+func (s *NetServer) handle(conn net.Conn) {
+	rd := bufio.NewReaderSize(conn, 4096)
+	w := &connWriter{conn: conn, s: s}
+	var frame []byte
+	for {
+		if s.drain.Load() && rd.Buffered() == 0 {
+			return // responses for handled requests are already flushed
+		}
+		if t := s.cfg.IdleTimeout; t > 0 && rd.Buffered() == 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+			if s.drain.Load() {
+				return // lost the race with Shutdown's deadline poke
+			}
+		}
+		var err error
+		frame, err = wire.ReadFrame(rd, frame, s.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, wire.ErrCorrupt) {
+				s.writeError(w, err)
+				w.flush()
+			}
+			return // EOF, timeout, or a peer we cannot re-sync with
+		}
+		kind, err := wire.Kind(frame)
+		if err != nil {
+			s.writeError(w, err)
+			w.flush()
+			return
+		}
+		switch kind {
+		case 'Q':
+			err = s.serveQuery(w, frame)
+		case 'S':
+			err = s.serveSummaries(w, frame)
+		default:
+			err = s.writeError(w, fmt.Errorf("server: unsupported request kind %q", kind))
+		}
+		if err != nil {
+			return // write-side failure; the conn is done
+		}
+		if rd.Buffered() == 0 {
+			if err := w.flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// serveQuery answers one 'Q' frame. Protocol errors (bad range) are
+// reported to the peer as 'E' responses; only transport errors are
+// returned.
+func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
+	lo, hi, err := wire.DecodeQueryReq(frame)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	sv, err := s.qs.Serve(lo, hi)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	s.queries.Add(1)
+	if sv.Data != nil {
+		// Zero-copy: the cache entry's pooled encoding goes straight to
+		// the socket; Release after the write returns it to the pool
+		// once the last reader is done.
+		werr := w.frame(sv.Data)
+		sv.Release()
+		return werr
+	}
+	// No cache enabled: encode into a pooled buffer for this response
+	// only. codec.Encode owns the pooled buffer until it succeeds, so
+	// this path puts exactly the successful encoding, exactly once.
+	data, err := s.codec.Encode(sv.Answer)
+	if err != nil {
+		sv.Release()
+		return s.writeError(w, err)
+	}
+	werr := w.frame(data)
+	s.codec.Free(data)
+	sv.Release()
+	return werr
+}
+
+// serveSummaries answers one 'S' frame with the certified summaries
+// published at or after the requested time, capped per response (the
+// client pages with advancing since-timestamps).
+func (s *NetServer) serveSummaries(w *connWriter, frame []byte) error {
+	since, err := wire.DecodeSummariesReq(frame)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	sums := s.qs.SummariesSince(since)
+	max := s.cfg.MaxSummaries
+	if max <= 0 {
+		max = DefaultMaxSummaries
+	}
+	if len(sums) > max {
+		sums = sums[:max]
+	}
+	buf := wire.AppendSummaries(wire.GetBuffer(), sums)
+	werr := w.frame(buf)
+	wire.PutBuffer(buf)
+	if werr == nil {
+		s.summaries.Add(1)
+	}
+	return werr
+}
+
+// writeError sends an 'E' response. The returned error is the
+// transport's, not the one being reported.
+func (s *NetServer) writeError(w *connWriter, cause error) error {
+	s.errs.Add(1)
+	buf := wire.AppendError(wire.GetBuffer(), cause.Error())
+	werr := w.frame(buf)
+	wire.PutBuffer(buf)
+	return werr
+}
+

@@ -21,11 +21,20 @@ import (
 
 // Codec returns the production AnswerCodec: answers encode once into a
 // pooled wire buffer that the cache recycles when the last reader
-// releases the entry.
+// releases the entry. On an encoding error the pooled buffer is
+// returned immediately — Encode owns the buffer until it succeeds, so
+// no error path can leak it or double-put it (callers Free exactly the
+// successful results).
 func Codec() core.AnswerCodec {
 	return core.AnswerCodec{
 		Encode: func(a *core.Answer) ([]byte, error) {
-			return wire.AppendAnswer(wire.GetBuffer(), a)
+			buf := wire.GetBuffer()
+			out, err := wire.AppendAnswer(buf, a)
+			if err != nil {
+				wire.PutBuffer(buf)
+				return nil, err
+			}
+			return out, nil
 		},
 		Free: wire.PutBuffer,
 	}
@@ -256,42 +265,12 @@ func (b *bench) runPoint(clients int, cached bool) (*Point, error) {
 	defer qs.DisableAnswerCache()
 
 	deadline := time.Now().Add(b.cfg.Duration)
-	stop := make(chan struct{})
-	var updates int64
 
 	// Writer: single goroutine (the DA is single-writer) updating keys
 	// drawn from the catalog's hot head, so invalidations land on the
 	// very ranges the cache is serving.
-	var writerErr error
-	var writerWG sync.WaitGroup
-	if b.cfg.UpdateEvery > 0 {
-		writerWG.Add(1)
-		go func() {
-			defer writerWG.Done()
-			gen := workload.NewHotRangeGen(b.catalog, b.cfg.Theta, b.cfg.Seed+999)
-			tick := time.NewTicker(b.cfg.UpdateEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-tick.C:
-				}
-				q := gen.Next()
-				b.updateTS++
-				msg, err := b.sys.DA.Update(q.Lo, [][]byte{[]byte(fmt.Sprintf("u-%d", b.updateTS))}, b.updateTS)
-				if err != nil {
-					writerErr = fmt.Errorf("server: update: %w", err)
-					return
-				}
-				if err := qs.Apply(msg); err != nil {
-					writerErr = fmt.Errorf("server: apply: %w", err)
-					return
-				}
-				updates++
-			}
-		}()
-	}
+	stopWriter := startHotWriter(b.sys, b.catalog, b.cfg.Theta, b.cfg.Seed+999,
+		b.cfg.UpdateEvery, 0, &b.updateTS)
 
 	ops := make([][]opRecord, clients)
 	samples := make([][]sample, clients)
@@ -338,8 +317,7 @@ func (b *bench) runPoint(clients int, cached bool) (*Point, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(stop)
-	writerWG.Wait()
+	updates, _, writerErr := stopWriter()
 	if writerErr != nil {
 		return nil, writerErr
 	}

@@ -123,3 +123,78 @@ func TestStatsString(t *testing.T) {
 		t.Fatal("empty Stats string")
 	}
 }
+
+// TestBufferPoolCapacityOne is the churn boundary: every miss makes the
+// sole resident page the victim, and the eviction must complete (with
+// exact accounting) before the missing page is inserted — the incoming
+// page must never evict itself.
+func TestBufferPoolCapacityOne(t *testing.T) {
+	bp := NewBufferPool(1)
+	bp.Touch(1, true) // miss, resident {1} dirty
+	if bp.Len() != 1 || !bp.Resident(1) {
+		t.Fatalf("len=%d resident(1)=%v", bp.Len(), bp.Resident(1))
+	}
+	bp.Touch(2, false) // miss: evicts dirty 1, inserts 2
+	if bp.Len() != 1 || !bp.Resident(2) || bp.Resident(1) {
+		t.Fatalf("after churn: len=%d resident={1:%v 2:%v}", bp.Len(), bp.Resident(1), bp.Resident(2))
+	}
+	bp.Touch(2, false) // hit: no eviction
+	bp.Touch(3, false) // miss: evicts clean 2
+	s := bp.Stats()
+	if s.LogicalReads != 4 || s.PhysicalReads != 3 || s.Evictions != 2 || s.PhysicalWrites != 1 {
+		t.Fatalf("capacity-1 accounting: %+v", s)
+	}
+	// Re-touching an evicted page is a fresh miss, not a self-eviction.
+	bp.Touch(2, false)
+	if !bp.Resident(2) || bp.Resident(3) || bp.Len() != 1 {
+		t.Fatalf("victim re-entry: len=%d resident={2:%v 3:%v}", bp.Len(), bp.Resident(2), bp.Resident(3))
+	}
+}
+
+// TestBufferPoolFlushAllPreservesLRUAndClears: flushing must not
+// reorder recency (a flush is not an access) and must leave pages
+// clean, so a later eviction of a flushed page costs no second write.
+func TestBufferPoolFlushAllPreservesLRUAndClears(t *testing.T) {
+	bp := NewBufferPool(3)
+	bp.Touch(1, true)
+	bp.Touch(2, true)
+	bp.Touch(3, true)
+	bp.FlushAll()
+	if got := bp.Stats().PhysicalWrites; got != 3 {
+		t.Fatalf("flush wrote %d pages, want 3", got)
+	}
+	bp.FlushAll() // everything already clean: no extra writes
+	if got := bp.Stats().PhysicalWrites; got != 3 {
+		t.Fatalf("second flush wrote again: %d", got)
+	}
+	// LRU order is still 1 < 2 < 3: the next two misses evict 1 then 2.
+	bp.Touch(4, false)
+	bp.Touch(5, false)
+	if bp.Resident(1) || bp.Resident(2) || !bp.Resident(3) {
+		t.Fatalf("flush disturbed LRU order: resident={1:%v 2:%v 3:%v}",
+			bp.Resident(1), bp.Resident(2), bp.Resident(3))
+	}
+	// The evicted pages were clean post-flush: still 3 writes total.
+	if s := bp.Stats(); s.PhysicalWrites != 3 || s.Evictions != 2 {
+		t.Fatalf("post-flush eviction accounting: %+v", s)
+	}
+}
+
+// TestBufferPoolNonPositiveCapacity: capacity <= 0 means unbounded —
+// nothing is ever evicted, and FlushAll still accounts every dirty page
+// exactly once.
+func TestBufferPoolNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		bp := NewBufferPool(capacity)
+		for i := 0; i < 100; i++ {
+			bp.Touch(PageID(i), i%2 == 0)
+		}
+		if bp.Len() != 100 {
+			t.Fatalf("capacity %d: len=%d, want 100", capacity, bp.Len())
+		}
+		bp.FlushAll()
+		if s := bp.Stats(); s.Evictions != 0 || s.PhysicalWrites != 50 {
+			t.Fatalf("capacity %d: %+v", capacity, s)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package wire
+
+// The networked serving protocol: length-prefixed frames over a byte
+// stream, each frame carrying one versioned message. Requests flow user
+// → server ('Q' range query, 'S' summaries-since); responses flow back
+// in request order ('A' answer, 'F' summary batch, 'E' error), so a
+// client may pipeline any number of requests before reading. The answer
+// payload is byte-identical to AppendAnswer's encoding — a server
+// holding a cached entry writes those bytes straight to the socket.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"authdb/internal/freshness"
+)
+
+// DefaultMaxFrame bounds a frame's payload unless a tighter limit is
+// configured: large enough for a multi-megabyte answer, small enough
+// that a hostile peer cannot provoke unbounded allocation.
+const DefaultMaxFrame = 64 << 20
+
+// frameHeaderLen is the length prefix: a big-endian uint32 payload
+// size.
+const frameHeaderLen = 4
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing buf's storage when it is large
+// enough, and returns the payload (valid until the next ReadFrame with
+// the same buffer). max bounds the payload size (0 = DefaultMaxFrame).
+// A connection closed cleanly between frames returns io.EOF; a close
+// mid-frame returns io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+		}
+		return nil, err
+	}
+	// Bounds-check in uint64 before any int conversion: on 32-bit
+	// platforms a hostile 2^31..2^32-1 length would wrap negative as an
+	// int and sail past both checks into a slicing panic.
+	if u := uint64(binary.BigEndian.Uint32(hdr[:])); u > uint64(max) {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCorrupt, u, max)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: truncated frame (%d bytes)", ErrCorrupt, n)
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Kind peeks at a message's kind byte after validating the version, so
+// a receiver can dispatch before committing to a full decode.
+func Kind(data []byte) (byte, error) {
+	if len(data) < 2 {
+		return 0, fmt.Errorf("%w: short message (%d bytes)", ErrCorrupt, len(data))
+	}
+	if data[0] != Version {
+		return 0, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, data[0], Version)
+	}
+	return data[1], nil
+}
+
+// ---- QueryReq (user -> server) ----
+
+// AppendQueryReq appends a range-query request for [lo, hi].
+func AppendQueryReq(buf []byte, lo, hi int64) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('Q')
+	w.i64(lo)
+	w.i64(hi)
+	return w.buf
+}
+
+// DecodeQueryReq parses a range-query request.
+func DecodeQueryReq(data []byte) (lo, hi int64, err error) {
+	r := &reader{buf: data}
+	if err = header(r, 'Q'); err != nil {
+		return 0, 0, err
+	}
+	if lo, err = r.i64(); err != nil {
+		return 0, 0, err
+	}
+	if hi, err = r.i64(); err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, r.done()
+}
+
+// ---- SummariesReq (user -> server) ----
+
+// AppendSummariesReq appends a request for the certified summaries
+// published at or after since (the log-in back-history fetch of §3.1).
+func AppendSummariesReq(buf []byte, since int64) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('S')
+	w.i64(since)
+	return w.buf
+}
+
+// DecodeSummariesReq parses a summaries-since request.
+func DecodeSummariesReq(data []byte) (int64, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'S'); err != nil {
+		return 0, err
+	}
+	since, err := r.i64()
+	if err != nil {
+		return 0, err
+	}
+	return since, r.done()
+}
+
+// ---- Summaries (server -> user) ----
+
+// AppendSummaries appends a batch of certified summaries (the response
+// to a SummariesReq).
+func AppendSummaries(buf []byte, sums []freshness.Summary) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('F')
+	w.u64(uint64(len(sums)))
+	for i := range sums {
+		putSummary(w, &sums[i])
+	}
+	return w.buf
+}
+
+// DecodeSummaries parses a summary batch.
+func DecodeSummaries(data []byte) ([]freshness.Summary, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'F'); err != nil {
+		return nil, err
+	}
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxLen {
+		return nil, fmt.Errorf("%w: summary count %d", ErrCorrupt, n)
+	}
+	var sums []freshness.Summary
+	for i := uint64(0); i < n; i++ {
+		s, err := getSummary(r)
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// ---- Error (server -> user) ----
+
+// AppendError appends an error response carrying msg.
+func AppendError(buf []byte, msg string) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('E')
+	w.bytes([]byte(msg))
+	return w.buf
+}
+
+// DecodeError parses an error response into its message.
+func DecodeError(data []byte) (string, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'E'); err != nil {
+		return "", err
+	}
+	msg, err := r.bytes()
+	if err != nil {
+		return "", err
+	}
+	if err := r.done(); err != nil {
+		return "", err
+	}
+	return string(msg), nil
+}

@@ -318,7 +318,9 @@ func EncodeAnswer(ans *core.Answer) ([]byte, error) {
 
 // AppendAnswer appends the encoding of ans to buf (obtained from
 // GetBuffer to avoid per-answer allocations) and returns the extended
-// buffer.
+// buffer. On error nothing has been appended and the caller still owns
+// buf — a pooled buffer must then be recycled by the caller (exactly
+// once; see server.Codec for the canonical error path).
 func AppendAnswer(buf []byte, ans *core.Answer) ([]byte, error) {
 	if ans == nil || ans.Chain == nil {
 		return nil, fmt.Errorf("wire: nil answer")
