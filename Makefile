@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net clean
+.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +36,11 @@ ingest:
 # Emit BENCH_serve.json (answer cache + coalescing, cold vs cached QPS).
 bench-serve:
 	$(GO) run ./cmd/authbench serve -n $(BENCH_N)
+
+# Re-emit BENCH_ingest.json with the durable (write-ahead logged)
+# pipelined-load column: group-commit overhead vs in-memory.
+bench-wal:
+	$(GO) run ./cmd/authbench ingest -n $(BENCH_N) -wal
 
 # Emit BENCH_net.json (verifying clients over real loopback TCP sockets).
 bench-net:

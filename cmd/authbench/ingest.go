@@ -13,9 +13,11 @@ import (
 	"authdb/internal/sigagg"
 	"authdb/internal/sigagg/bas"
 	"authdb/internal/sigagg/crsa"
+	"authdb/internal/wal"
 )
 
-// ingestPoint is one serial-vs-pipelined Load measurement.
+// ingestPoint is one serial-vs-pipelined Load measurement, optionally
+// with a WAL-backed (durable) pipelined column.
 type ingestPoint struct {
 	Scheme                   string  `json:"scheme"`
 	N                        int     `json:"n"`
@@ -28,6 +30,15 @@ type ingestPoint struct {
 	PipelinedBytesPerRecord  uint64  `json:"pipelined_alloc_bytes_per_record"`
 	SignaturesIdentical      bool    `json:"signatures_identical"`
 	AnswersVerified          bool    `json:"answers_verified"`
+
+	// WAL mode: the same pipelined load with every batch appended to a
+	// group-committed write-ahead log and a final fsync fence.
+	// WalOverhead = wal_ns / pipelined_ns (target ≤ ~1.3x).
+	WalNsPerRecord    int64   `json:"wal_ns_per_record,omitempty"`
+	WalOverhead       float64 `json:"wal_overhead,omitempty"`
+	WalBytesPerRecord int64   `json:"wal_bytes_per_record,omitempty"`
+	WalGroupCommitMS  float64 `json:"wal_group_commit_ms,omitempty"`
+	WalRecovered      bool    `json:"wal_recovered,omitempty"`
 }
 
 // verifyPoint is one serial-vs-batched VerifyAnswer(s) throughput
@@ -67,6 +78,9 @@ func runIngest(args []string) error {
 	answers := fs.Int("answers", 128, "answers per verification batch")
 	k := fs.Int("k", 20, "records per verified answer (small answers: the many-users regime batching targets)")
 	short := fs.Bool("short", false, "CI smoke mode: small n, few answers")
+	walMode := fs.Bool("wal", false, "also measure the durable (write-ahead logged) pipelined load")
+	walBatch := fs.Int("wal-batch", 1024, "records per WAL append in -wal mode (the streaming-ingest batch size)")
+	walCommit := fs.Duration("wal-commit", 2*time.Millisecond, "WAL group-commit window in -wal mode")
 	out := fs.String("out", "BENCH_ingest.json", "output JSON path (empty to skip)")
 	check := fs.String("check", "", "validate an existing BENCH_ingest.json and exit")
 	if args != nil {
@@ -101,6 +115,11 @@ func runIngest(args []string) error {
 			if err != nil {
 				return err
 			}
+			if *walMode {
+				if err := measureWalIngest(raw, n, *walBatch, *walCommit, &pt); err != nil {
+					return err
+				}
+			}
 			res.Points = append(res.Points, pt)
 			res.Verify = append(res.Verify, vp)
 		}
@@ -111,6 +130,10 @@ func runIngest(args []string) error {
 		fmt.Printf("  load   %-5s n=%-8d serial %8d ns/rec (%d allocs/rec)  pipelined %8d ns/rec (%d allocs/rec)  speedup %.2fx  verified=%v\n",
 			p.Scheme, p.N, p.SerialNsPerRecord, p.SerialAllocsPerRecord,
 			p.PipelinedNsPerRecord, p.PipelinedAllocsPerRecord, p.Speedup, p.AnswersVerified)
+		if p.WalNsPerRecord > 0 {
+			fmt.Printf("  wal    %-5s n=%-8d durable %9d ns/rec  overhead %.2fx  %d B/rec on disk  recovered=%v\n",
+				p.Scheme, p.N, p.WalNsPerRecord, p.WalOverhead, p.WalBytesPerRecord, p.WalRecovered)
+		}
 	}
 	for _, v := range res.Verify {
 		fmt.Printf("  verify %-5s %d answers x %d recs: serial %8.1f ans/s (%d allocs/ans)  batch %8.1f ans/s (%d allocs/ans)  speedup %.2fx\n",
@@ -128,6 +151,95 @@ func runIngest(args []string) error {
 		}
 		fmt.Printf("ingest: wrote %s\n", *out)
 	}
+	return nil
+}
+
+// measureWalIngest re-runs the pipelined load with durability: every
+// batch of signed records is appended to a group-committed write-ahead
+// log (the streaming-ingest shape authserve -data uses) and the run
+// ends on an fsync fence. The recovered-state check then replays the
+// log into a fresh query server and verifies a full-coverage answer, so
+// the overhead number only counts if the bytes on disk actually
+// reconstruct the catalog.
+func measureWalIngest(raw sigagg.Scheme, n, batch int, commit time.Duration, pt *ingestPoint) error {
+	priv, pub, err := raw.KeyGen(nil)
+	if err != nil {
+		return err
+	}
+	bound, err := sigagg.Bind(raw, pub)
+	if err != nil {
+		return err
+	}
+	da, err := core.NewDataAggregator(bound, priv, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	recs := ingestRecords(n)
+	dir, err := os.MkdirTemp("", "authdb-wal-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := wal.Open(dir, wal.Options{GroupCommit: commit})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	fmt.Printf("ingest: %s n=%d wal-backed load (batch %d, group commit %v)...\n", raw.Name(), n, batch, commit)
+	start := time.Now()
+	msg, err := da.Load(recs, 1)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(msg.Upserts); lo += batch {
+		hi := lo + batch
+		if hi > len(msg.Upserts) {
+			hi = len(msg.Upserts)
+		}
+		if _, err := store.AppendMsg(&core.UpdateMsg{TS: msg.TS, Upserts: msg.Upserts[lo:hi]}); err != nil {
+			return err
+		}
+	}
+	if err := store.Sync(); err != nil {
+		return err
+	}
+	walNs := time.Since(start).Nanoseconds()
+
+	var walBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if fi, err := e.Info(); err == nil {
+			walBytes += fi.Size()
+		}
+	}
+
+	// The durable bytes must reconstruct the catalog: replay into a
+	// fresh server and verify a full-coverage answer.
+	qs := core.NewQueryServer(bound)
+	if _, err := store.Recover(nil, qs); err != nil {
+		return fmt.Errorf("ingest: wal recovery: %w", err)
+	}
+	if qs.Len() != n {
+		return fmt.Errorf("ingest: wal recovery rebuilt %d of %d records", qs.Len(), n)
+	}
+	ans, err := qs.Query(10, int64(n)*10)
+	if err != nil {
+		return err
+	}
+	verifier := core.NewVerifier(bound, pub, core.DefaultConfig())
+	if _, err := verifier.VerifyAnswer(ans, 10, int64(n)*10, 5); err != nil {
+		return fmt.Errorf("ingest: recovered catalog failed verification: %w", err)
+	}
+
+	pt.WalNsPerRecord = walNs / int64(n)
+	pt.WalOverhead = float64(walNs) / (float64(pt.PipelinedNsPerRecord) * float64(n))
+	pt.WalBytesPerRecord = walBytes / int64(n)
+	pt.WalGroupCommitMS = float64(commit) / float64(time.Millisecond)
+	pt.WalRecovered = true
 	return nil
 }
 
@@ -336,6 +448,11 @@ func checkIngestJSON(path string) error {
 		}
 		if !p.AnswersVerified || !p.SignaturesIdentical {
 			return fmt.Errorf("ingest: %s: unverified point %+v", path, p)
+		}
+		// WAL columns are optional, but when present the durable run must
+		// have reconstructed and verified the catalog from disk.
+		if p.WalNsPerRecord != 0 && (p.WalNsPerRecord < 0 || p.WalOverhead <= 0 || !p.WalRecovered) {
+			return fmt.Errorf("ingest: %s: bad wal point %+v", path, p)
 		}
 	}
 	for _, v := range res.Verify {

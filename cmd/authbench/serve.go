@@ -28,6 +28,7 @@ func runServe(args []string) error {
 	cacheMB := fs.Int64("cache-mb", 64, "answer-cache budget (MiB)")
 	shards := fs.Int("shards", 64, "QueryServer key-range shards (epoch/invalidation granularity)")
 	verifyEvery := fs.Int("verify-every", 256, "verify every k-th served answer (0 = sweep only)")
+	walMode := fs.Bool("wal", false, "write-ahead log the writer stream (serving under the authserve -data durability regime)")
 	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short windows")
 	out := fs.String("out", "BENCH_serve.json", "output JSON path (empty to skip)")
 	check := fs.String("check", "", "validate an existing BENCH_serve.json and exit")
@@ -55,6 +56,14 @@ func runServe(args []string) error {
 	cfg.CacheBytes = *cacheMB << 20
 	cfg.VerifyEvery = *verifyEvery
 	cfg.Shards = *shards
+	if *walMode {
+		dir, err := os.MkdirTemp("", "authdb-serve-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.WALDir = dir
+	}
 	if *short {
 		cfg.N = 5_000
 		cfg.Ranges = 64

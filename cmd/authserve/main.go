@@ -5,6 +5,13 @@
 // answer cache), streams certified freshness summaries, and keeps the
 // relation live with a background update/ρ-period writer.
 //
+// With -data <dir> the pipeline is durable: every dissemination
+// message is write-ahead logged (group-committed fsyncs; period closes
+// fenced eagerly) and the catalog is periodically snapshotted with log
+// truncation, so a killed server — SIGKILL included — reboots from the
+// directory to its exact pre-crash state without re-contacting the
+// owner (see internal/wal and DESIGN.md "Durability & recovery").
+//
 // Usage:
 //
 //	authserve serve [flags]   run the server (default)
@@ -26,6 +33,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -36,6 +45,7 @@ import (
 	"authdb/internal/sigagg/bas"
 	"authdb/internal/sigagg/crsa"
 	"authdb/internal/sigagg/xortest"
+	"authdb/internal/wal"
 	"authdb/internal/workload"
 )
 
@@ -119,6 +129,10 @@ func runServe(args []string) error {
 	maxFrame := fs.Int("max-frame", 1<<20, "request frame size cap (bytes)")
 	idleSec := fs.Int("idle-timeout", 300, "drop connections idle for this many seconds (0 = never)")
 	seed := fs.Int64("seed", 1, "relation generator seed")
+	dataDir := fs.String("data", "", "durable state directory (write-ahead log + snapshots; empty = in-memory only)")
+	snapEvery := fs.Int("snap-every", 2000, "background snapshot + log truncation every k logged messages (0 = initial snapshot only)")
+	groupCommit := fs.Duration("group-commit", 2*time.Millisecond, "WAL fsync batching window (0 = fsync every append)")
+	noSync := fs.Bool("nosync", false, "skip WAL fsync entirely (throwaway data only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,15 +146,79 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("authserve: loading %d records under %s (keyseed %q)...\n", *n, sys.Scheme.Name(), *keyseed)
-	recs := workload.Records(workload.Config{N: *n, RecLen: 512, Seed: *seed})
-	keys := workload.Keys(recs)
-	msg, err := sys.DA.Load(recs, 1)
-	if err != nil {
-		return err
+
+	var store *wal.Store
+	if *dataDir != "" {
+		store, err = wal.Open(*dataDir, wal.Options{GroupCommit: *groupCommit, NoSync: *noSync})
+		if err != nil {
+			return fmt.Errorf("open durable state %s: %w", *dataDir, err)
+		}
+		defer store.Close()
 	}
-	if err := sys.QS.Apply(msg); err != nil {
-		return err
+
+	var keys []int64
+	baseTS := int64(1)
+	if store != nil && !store.Empty() {
+		// Restart: snapshot + log tail, no owner round trip, no signing.
+		stats, err := store.Recover(sys.DA, sys.QS)
+		if err != nil {
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		st := sys.QS.Snapshot()
+		keys = make([]int64, len(st.Records))
+		for i, sr := range st.Records {
+			keys[i] = sr.Rec.Key
+			if sr.Rec.TS > baseTS {
+				baseTS = sr.Rec.TS
+			}
+		}
+		for _, s := range st.Summaries {
+			if s.TS > baseTS {
+				baseTS = s.TS
+			}
+		}
+		fmt.Printf("authserve: recovered %d records, %d summaries from %s (snapshot lsn %d, %d replayed, %d overlap-skipped)\n",
+			len(st.Records), len(st.Summaries), *dataDir, stats.SnapshotLSN, stats.Replayed, stats.Skipped)
+		if stats.Replayed > 0 || stats.Skipped > 0 {
+			// Fold the just-replayed tail into a fresh snapshot so a
+			// crash-restart loop never replays an ever-growing log:
+			// without this, a server that keeps dying before the next
+			// -snap-every threshold re-replays the same tail (plus new
+			// messages) on every boot.
+			snap, err := wal.Capture(sys.DA, sys.QS, store.LastLSN(), baseTS)
+			if err != nil {
+				return err
+			}
+			if err := store.WriteSnapshot(snap); err != nil {
+				return err
+			}
+		}
+	} else {
+		fmt.Printf("authserve: loading %d records under %s (keyseed %q)...\n", *n, sys.Scheme.Name(), *keyseed)
+		recs := workload.Records(workload.Config{N: *n, RecLen: 512, Seed: *seed})
+		keys = workload.Keys(recs)
+		msg, err := sys.DA.Load(recs, 1)
+		if err != nil {
+			return err
+		}
+		if err := sys.QS.Apply(msg); err != nil {
+			return err
+		}
+		if store != nil {
+			// The bulk load becomes the initial snapshot rather than one
+			// giant log record.
+			snap, err := wal.Capture(sys.DA, sys.QS, store.LastLSN(), 1)
+			if err != nil {
+				return err
+			}
+			if err := store.WriteSnapshot(snap); err != nil {
+				return err
+			}
+			fmt.Printf("authserve: wrote initial snapshot to %s\n", *dataDir)
+		}
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("authserve: empty catalog")
 	}
 	if *cacheMB > 0 {
 		if err := server.EnableCache(sys.QS, *cacheMB<<20); err != nil {
@@ -162,13 +240,35 @@ func runServe(args []string) error {
 
 	// Background writer: the trusted aggregator keeps updating hot
 	// records and closing ρ-periods, so remote clients see a live
-	// freshness stream. Timestamps are logical milliseconds since load.
+	// freshness stream. Timestamps are logical milliseconds since load
+	// (offset past whatever the recovered state already reached). With a
+	// durable store every message is logged before it is applied —
+	// write-ahead — with period closes fsynced eagerly: a certified
+	// summary a client may anchor freshness on must never be lost to the
+	// group-commit window.
 	stopWriter := make(chan struct{})
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		if *updEveryMS <= 0 {
 			return
+		}
+		var snapWG sync.WaitGroup
+		var snapBusy atomic.Bool
+		defer snapWG.Wait()
+		sinceSnap := int64(0)
+		logMsg := func(msg *core.UpdateMsg) error {
+			if store == nil {
+				return nil
+			}
+			if _, err := store.AppendMsg(msg); err != nil {
+				return err
+			}
+			sinceSnap++
+			if msg.Summary != nil {
+				return store.Sync()
+			}
+			return nil
 		}
 		gen := workload.NewUpdateGen(keys, *seed+7)
 		tick := time.NewTicker(time.Duration(*updEveryMS * float64(time.Millisecond)))
@@ -181,11 +281,15 @@ func runServe(args []string) error {
 				return
 			case <-tick.C:
 			}
-			ts := int64(time.Since(start).Milliseconds()) + 2
+			ts := baseTS + int64(time.Since(start).Milliseconds()) + 2
 			key := gen.Next()
 			msg, err := sys.DA.Update(key, [][]byte{[]byte(fmt.Sprintf("u-%d", ts))}, ts)
 			if err != nil {
 				continue // e.g. non-monotonic ts under a coarse clock; skip the beat
+			}
+			if err := logMsg(msg); err != nil {
+				fmt.Fprintf(os.Stderr, "authserve: wal append: %v\n", err)
+				return
 			}
 			if err := sys.QS.Apply(msg); err != nil {
 				fmt.Fprintf(os.Stderr, "authserve: apply: %v\n", err)
@@ -194,10 +298,37 @@ func runServe(args []string) error {
 			updates++
 			if *sumEvery > 0 && updates%int64(*sumEvery) == 0 {
 				if msg, err := sys.DA.ClosePeriod(ts + 1); err == nil {
+					if err := logMsg(msg); err != nil {
+						fmt.Fprintf(os.Stderr, "authserve: wal append: %v\n", err)
+						return
+					}
 					if err := sys.QS.Apply(msg); err != nil {
 						fmt.Fprintf(os.Stderr, "authserve: apply summary: %v\n", err)
 						return
 					}
+				}
+			}
+			if store != nil && *snapEvery > 0 && sinceSnap >= int64(*snapEvery) &&
+				snapBusy.CompareAndSwap(false, true) {
+				// Capture here, on the single writer, between messages —
+				// the one place the owner/server pair is a consistent
+				// cut. The (slow) encode + fsync + truncate runs in the
+				// background; appends race it safely (records past the
+				// watermark live in segments truncation never touches).
+				snap, err := wal.Capture(sys.DA, sys.QS, store.LastLSN(), ts)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "authserve: snapshot capture: %v\n", err)
+					snapBusy.Store(false)
+				} else {
+					sinceSnap = 0
+					snapWG.Add(1)
+					go func() {
+						defer snapWG.Done()
+						defer snapBusy.Store(false)
+						if err := store.WriteSnapshot(snap); err != nil {
+							fmt.Fprintf(os.Stderr, "authserve: snapshot write: %v\n", err)
+						}
+					}()
 				}
 			}
 		}

@@ -13,6 +13,7 @@ package client
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -89,6 +90,26 @@ func Dial(addr string, cfg Config) (*Client, error) {
 // summaries) is discarded with the client.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// Reconnect dials addr again after a broken connection — typically a
+// server restart — preserving the session's verifier state. The
+// certified summary stream the session holds survives, so answers from
+// the restarted server are still judged against everything this user
+// has ever been shown: a server that recovered durably bridges
+// seamlessly (its stream continues the held sequence), and one that
+// lost state is caught by the divergence check (ErrDiverged) instead of
+// silently rolling the session's freshness anchor back.
+func (c *Client) Reconnect(addr string) error {
+	c.conn.Close() // best effort; the old conn is usually already dead
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: reconnect %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 64<<10)
+	c.bw = bufio.NewWriterSize(conn, 16<<10)
+	return nil
+}
+
 // Stats snapshots the session counters.
 func (c *Client) Stats() Stats { return c.stats }
 
@@ -109,6 +130,29 @@ func (c *Client) readFrame() ([]byte, error) {
 
 // ErrServer wraps error responses the server sent ('E' frames).
 var ErrServer = errors.New("client: server error")
+
+// ErrDiverged (an ErrServer) reports that a summary the server supplied
+// contradicts the same-sequence summary this session already verified —
+// the signature of a server whose certified state rolled back, e.g. a
+// restart without durable recovery. Accepting the server's version
+// would silently rewind the session's freshness anchor, so the session
+// refuses instead; the user re-logs-in with a fresh session only after
+// deciding the rollback is expected.
+var ErrDiverged = fmt.Errorf("%w: certified summary stream diverged (server lost durable state?)", ErrServer)
+
+// checkHeld compares an incoming summary against the same-sequence
+// summary the session already holds, if any.
+func (c *Client) checkHeld(s *freshness.Summary) error {
+	held, ok := c.verifier.SummaryBySeq(s.Seq)
+	if !ok {
+		return nil
+	}
+	if held.TS != s.TS || held.PeriodStart != s.PeriodStart ||
+		!bytes.Equal(held.Compressed, s.Compressed) || !bytes.Equal(held.Sig, s.Sig) {
+		return fmt.Errorf("%w: summary %d", ErrDiverged, s.Seq)
+	}
+	return nil
+}
 
 // decodeAnswerFrame interprets one response frame as an answer or a
 // server-reported error.
@@ -236,6 +280,10 @@ func (c *Client) bridgeSummaries(answers []*core.Answer) error {
 			s := &ans.Summaries[i]
 			if s.Seq > held {
 				bySeq[s.Seq] = s
+			} else if err := c.checkHeld(s); err != nil {
+				// The server re-sent a summary this session already
+				// verified; it must be the same one.
+				return err
 			}
 			if s.Seq > max {
 				max = s.Seq
@@ -374,6 +422,9 @@ func (c *Client) ingestSummaries(sums []freshness.Summary) (int, error) {
 	n := 0
 	for _, s := range sums {
 		if s.Seq <= held {
+			if err := c.checkHeld(&s); err != nil {
+				return n, err
+			}
 			continue
 		}
 		if err := c.verifier.IngestSummary(s); err != nil {

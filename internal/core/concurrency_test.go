@@ -86,10 +86,13 @@ func TestConcurrentQueriesAndUpdates(t *testing.T) {
 }
 
 // TestConcurrentServeWithAnswerCache races Serve (through the answer
-// cache), Apply (invalidating updates) and EnableSigCache, asserting
-// the epoch check's core guarantee: no served answer is older than any
-// intersecting update that completed before the serve began. Run with
-// -race.
+// cache), Apply (invalidating updates), EnableSigCache, and — the
+// recovery boundary — periodic Snapshot/Restore cycles, asserting the
+// epoch check's core guarantee: no served answer is older than any
+// intersecting update that completed before the serve began. A Restore
+// that reset (rather than advanced) the epochs would let entries
+// stamped before it serve again and trip the floor check below. Run
+// with -race.
 func TestConcurrentServeWithAnswerCache(t *testing.T) {
 	sys := newSystem(t, xortest.New())
 	const n = 512
@@ -123,6 +126,16 @@ func TestConcurrentServeWithAnswerCache(t *testing.T) {
 				return
 			}
 			floor[slot].Store(ts)
+			if i%75 == 74 {
+				// Recovery boundary under traffic: restore the server to
+				// its own consistent cut. State is unchanged, so the
+				// floors still hold — but every cache entry built before
+				// this point must now be epoch-invalid.
+				if err := sys.QS.Restore(sys.QS.Snapshot()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
 		}
 	}()
 

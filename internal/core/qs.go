@@ -435,13 +435,27 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 		sh.recs[rec.Key] = rec
 		qs.keyOf[rec.RID] = rec.Key
 	}
-	if msg.Summary != nil {
-		qs.sumMu.Lock()
-		qs.summaries = append(qs.summaries, *msg.Summary)
-		qs.sumEpoch.Add(1)
-		qs.sumMu.Unlock()
-	}
+	qs.appendSummary(msg.Summary)
 	return nil
+}
+
+// appendSummary installs a certified summary if it advances the stream.
+// Summaries re-delivered out of sequence — a crash-recovery replay
+// whose log tail overlaps the snapshot, or any at-least-once
+// dissemination channel — are dropped by sequence number: appending one
+// twice would hand every later client a stream that fails the
+// checker's contiguity test and double-bump the summary epoch for
+// nothing.
+func (qs *QueryServer) appendSummary(s *freshness.Summary) {
+	if s == nil {
+		return
+	}
+	qs.sumMu.Lock()
+	if n := len(qs.summaries); n == 0 || s.Seq > qs.summaries[n-1].Seq {
+		qs.summaries = append(qs.summaries, *s)
+		qs.sumEpoch.Add(1)
+	}
+	qs.sumMu.Unlock()
 }
 
 // bulkApply reports whether msg can take the bottom-up build path: the
@@ -479,12 +493,7 @@ func (qs *QueryServer) applyBulk(msg *UpdateMsg) error {
 	for i := range qs.epochs {
 		qs.epochs[i].Add(1)
 	}
-	if msg.Summary != nil {
-		qs.sumMu.Lock()
-		qs.summaries = append(qs.summaries, *msg.Summary)
-		qs.sumEpoch.Add(1)
-		qs.sumMu.Unlock()
-	}
+	qs.appendSummary(msg.Summary)
 	return nil
 }
 

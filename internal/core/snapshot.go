@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"authdb/internal/aggtree"
+	"authdb/internal/btree"
+	"authdb/internal/freshness"
+	"authdb/internal/storage"
+)
+
+// This file is the recovery boundary: point-in-time state extraction
+// and injection for both protocol parties, plus the owner-side replay
+// of logged dissemination messages. internal/wal persists these states
+// and drives replay; everything here is storage-agnostic.
+//
+// The invariant that makes replay safe is a watermark, not in-place
+// idempotence: a snapshot records the log sequence number (LSN) of the
+// last message folded into it, and recovery replays only messages past
+// that watermark. Re-applying a message would not corrupt the index —
+// updates are by-key and signatures are absolute — but it WOULD
+// double-count the freshness bookkeeping (Publisher.MarkUpdated's
+// per-period touch counters decide which records the next ClosePeriod
+// re-certifies), silently diverging a recovered owner from a
+// never-crashed one. The wal package's Recover enforces the watermark;
+// ReplayMsg documents the requirement for anyone else.
+
+// OwnerState is the DataAggregator's durable state: the relation with
+// its current chained signatures in key order, the rid allocator, the
+// pending multi-update re-certifications, and the publisher's period
+// state. Private keys are deliberately absent — key material never
+// touches a snapshot.
+type OwnerState struct {
+	NextRID      uint64
+	Records      []SignedRecord // key-ascending, current signature each
+	MultiPending []int
+	Pub          *freshness.PublisherState
+}
+
+// Snapshot extracts the owner's durable state. Like every
+// DataAggregator operation it relies on the caller's single-writer
+// discipline; the returned state shares the (immutable) record bodies
+// but none of the mutable bookkeeping.
+func (da *DataAggregator) Snapshot() (*OwnerState, error) {
+	msg, err := da.SnapshotMsg(0)
+	if err != nil {
+		return nil, err
+	}
+	st := da.SnapshotMeta()
+	st.Records = msg.Upserts
+	return st, nil
+}
+
+// SnapshotMeta extracts only the owner's non-relation bookkeeping —
+// rid allocator, pending re-certifications, publisher period state —
+// leaving Records nil. Snapshot assemblers that already hold the
+// record image from the query server (identical by construction: the
+// owner disseminates every signature it creates) use this to skip the
+// O(n) relation scan on the writer's critical path.
+func (da *DataAggregator) SnapshotMeta() *OwnerState {
+	return &OwnerState{
+		NextRID:      da.nextRID,
+		MultiPending: append([]int(nil), da.multiPending...),
+		Pub:          da.pub.State(),
+	}
+}
+
+// Restore replaces the owner's state with a snapshot: the B+-tree is
+// bulk-loaded bottom-up, the certification-time map and age heap are
+// rebuilt from the record timestamps (a record's TS is its last
+// certification time), and the publisher resumes mid-period. The
+// scheme, keys, and signing pool are untouched.
+func (da *DataAggregator) Restore(st *OwnerState) error {
+	entries := make([]btree.Entry, len(st.Records))
+	byRID := make(map[uint64]*Record, len(st.Records))
+	certTS := make(map[uint64]int64, len(st.Records))
+	nextRID := st.NextRID
+	for i, sr := range st.Records {
+		rec := sr.Rec
+		if i > 0 && rec.Key <= st.Records[i-1].Rec.Key {
+			return fmt.Errorf("core: restore: records not in strict key order at %d", i)
+		}
+		entries[i] = btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}
+		byRID[rec.RID] = rec
+		certTS[rec.RID] = rec.TS
+		if rec.RID > nextRID {
+			nextRID = rec.RID
+		}
+	}
+	idx, err := btree.BulkLoad(storage.DefaultPageConfig(), entries)
+	if err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	da.index = idx
+	da.byRID = byRID
+	da.certTS = certTS
+	da.nextRID = nextRID
+	da.multiPending = append([]int(nil), st.MultiPending...)
+	da.compactAges()
+	if st.Pub != nil {
+		if err := da.pub.RestoreState(st.Pub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayMsg applies one logged dissemination message to the owner's
+// state without any signing: the signatures were computed before the
+// crash and are adopted verbatim, so a recovered owner is byte-identical
+// to one that never crashed. Messages must be replayed in log order and
+// only past the snapshot's watermark — replaying an already-folded
+// message double-counts the period's update marks (see the file
+// comment).
+func (da *DataAggregator) ReplayMsg(msg *UpdateMsg) error {
+	if msg == nil {
+		return nil
+	}
+	for _, rid := range msg.Deletes {
+		rec, ok := da.byRID[rid]
+		if !ok {
+			continue // deleted before the snapshot
+		}
+		da.index.Delete(rec.Key)
+		delete(da.byRID, rid)
+		delete(da.certTS, rid) // its heap entry is discarded lazily
+		da.pub.MarkUpdated(slot(rid))
+	}
+	for _, sr := range msg.Upserts {
+		rec := sr.Rec
+		if !da.index.Update(rec.Key, sr.Sig) {
+			if err := da.index.Insert(btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
+				return fmt.Errorf("core: replay upsert: %w", err)
+			}
+		}
+		da.byRID[rec.RID] = rec
+		da.certify(rec.RID, rec.TS)
+		da.pub.MarkUpdated(slot(rec.RID))
+		if rec.RID > da.nextRID {
+			da.nextRID = rec.RID
+		}
+	}
+	if msg.Summary != nil {
+		multi, applied, err := da.pub.ReplaySummary(*msg.Summary)
+		if err != nil {
+			return err
+		}
+		if applied {
+			da.multiPending = multi
+		}
+	}
+	return nil
+}
+
+// ServerState is the QueryServer's durable state: the signed records in
+// key order and the certified summary stream. Shard topology, epochs
+// and caches are runtime artifacts rebuilt on restore.
+type ServerState struct {
+	Records   []SignedRecord // key-ascending, current signature each
+	Summaries []freshness.Summary
+}
+
+// Snapshot extracts a consistent cut of the server: every shard's read
+// lock is held simultaneously, and the summary stream is read before
+// any is released, so the cut contains each applied message entirely or
+// not at all.
+func (qs *QueryServer) Snapshot() *ServerState {
+	qs.topo.RLock()
+	defer qs.topo.RUnlock()
+	for _, sh := range qs.shards {
+		sh.mu.RLock()
+	}
+	n := 0
+	for _, sh := range qs.shards {
+		n += sh.index.Len()
+	}
+	st := &ServerState{Records: make([]SignedRecord, 0, n)}
+	for _, sh := range qs.shards {
+		sh.index.Scan(func(e btree.Entry) bool {
+			st.Records = append(st.Records, SignedRecord{Rec: sh.recs[e.Key], Sig: e.Sig})
+			return true
+		})
+	}
+	qs.sumMu.RLock()
+	st.Summaries = append([]freshness.Summary(nil), qs.summaries...)
+	qs.sumMu.RUnlock()
+	for _, sh := range qs.shards {
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// Restore replaces the server's contents with a snapshot, rebuilding
+// the shard topology, B+-trees and aggregation trees bottom-up through
+// the same bulk path an initial load takes. It is safe on a live,
+// non-empty server: the whole swap happens under the exclusive topology
+// lock, every data epoch and the summary epoch are bumped — never reset
+// — so answer-cache entries stamped before the restore can never be
+// served again, and any frozen SigCache is dropped (its positions
+// described the pre-restore population).
+func (qs *QueryServer) Restore(st *ServerState) error {
+	for i := 1; i < len(st.Records); i++ {
+		if st.Records[i].Rec.Key <= st.Records[i-1].Rec.Key {
+			return fmt.Errorf("core: restore: records not in strict key order at %d", i)
+		}
+	}
+	qs.topo.Lock()
+	defer qs.topo.Unlock()
+	qs.routing.Lock()
+	defer qs.routing.Unlock()
+
+	for i := range qs.shards {
+		qs.shards[i] = newShard(qs.scheme)
+	}
+	qs.bounds = nil
+	qs.seeded = false
+	qs.keyOf = make(map[uint64]int64, len(st.Records))
+
+	entries := make([]aggtree.Entry, len(st.Records))
+	recs := make(map[int64]*Record, len(st.Records))
+	for i, sr := range st.Records {
+		rec := sr.Rec
+		entries[i] = aggtree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}
+		recs[rec.Key] = rec
+		qs.keyOf[rec.RID] = rec.Key
+	}
+	// Re-derive balanced shard boundaries exactly as the one-off seeding
+	// would have (keys are already sorted and unique).
+	if len(qs.shards) > 1 && len(entries) >= seedFactor*len(qs.shards) {
+		nb := len(qs.shards) - 1
+		bounds := make([]int64, nb)
+		for i := 0; i < nb; i++ {
+			bounds[i] = entries[(i+1)*len(entries)/len(qs.shards)].Key
+		}
+		qs.bounds = bounds
+		qs.seeded = true
+	}
+	if err := qs.bulkFill(entries, recs); err != nil {
+		return err
+	}
+	for i := range qs.epochs {
+		qs.epochs[i].Add(1)
+	}
+	qs.sumMu.Lock()
+	qs.summaries = append([]freshness.Summary(nil), st.Summaries...)
+	qs.sumEpoch.Add(1)
+	qs.sumMu.Unlock()
+	// The frozen SigCache described the old population; no fast path is
+	// better than a wrong one.
+	qs.cacheMu.Lock()
+	qs.cache = nil
+	qs.cachePos = nil
+	qs.cacheFrozen = false
+	qs.cacheMu.Unlock()
+	return nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/sigcache"
+)
+
+// TestOwnerSnapshotRestoreRoundtrip: a restored owner is operationally
+// identical to the original — same certified image, same follow-on
+// signatures.
+func TestOwnerSnapshotRestoreRoundtrip(t *testing.T) {
+	sys := newSystem(t, xortest.New())
+	load(t, sys, 64)
+	for i := 0; i < 10; i++ {
+		msg, err := sys.DA.Update(int64(i+1)*10, [][]byte{[]byte("u")}, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.QS.Apply(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.DA.ClosePeriod(200); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sys.DA.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	da2, err := NewDataAggregator(sys.Scheme, sys.DA.priv, sys.DA.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := da2.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := sys.DA.SnapshotMsg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := da2.SnapshotMsg(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Upserts) != len(m2.Upserts) {
+		t.Fatalf("restored %d records, want %d", len(m2.Upserts), len(m1.Upserts))
+	}
+	for i := range m1.Upserts {
+		if !bytes.Equal(m1.Upserts[i].Sig, m2.Upserts[i].Sig) {
+			t.Fatalf("signature %d differs after restore", i)
+		}
+	}
+	if got, want := da2.OldestCertTS(), sys.DA.OldestCertTS(); got != want {
+		t.Fatalf("restored oldest certTS %d, want %d", got, want)
+	}
+	// Both owners must sign the next operation identically.
+	ma, err := sys.DA.Update(50, [][]byte{[]byte("next")}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := da2.Update(50, [][]byte{[]byte("next")}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ma.Upserts[0].Sig, mb.Upserts[0].Sig) {
+		t.Fatal("restored owner signs differently")
+	}
+}
+
+// TestServerRestoreInvalidatesCaches: Restore on a live server must
+// advance every epoch (so answer-cache entries stamped pre-restore can
+// never serve again) and drop the frozen SigCache.
+func TestServerRestoreInvalidatesCaches(t *testing.T) {
+	sys := newSystem(t, xortest.New())
+	load(t, sys, 256)
+	if err := sys.QS.EnableAnswerCache(testCodec(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.EnableSigCache(sigcache.Uniform, 8, sigcache.Lazy); err != nil {
+		t.Fatal(err)
+	}
+
+	sv, err := sys.QS.Serve(10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv.Release()
+	epochsBefore := make([]uint64, sys.QS.Shards())
+	for i := range epochsBefore {
+		epochsBefore[i] = sys.QS.DataEpoch(i)
+	}
+	sumBefore := sys.QS.SummaryEpoch()
+
+	st := sys.QS.Snapshot()
+	if err := sys.QS.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := range epochsBefore {
+		if sys.QS.DataEpoch(i) <= epochsBefore[i] {
+			t.Fatalf("shard %d epoch did not advance across Restore", i)
+		}
+	}
+	if sys.QS.SummaryEpoch() <= sumBefore {
+		t.Fatal("summary epoch did not advance across Restore")
+	}
+	if got := sys.QS.CacheStats(); got != (sigcache.Stats{}) {
+		t.Fatalf("SigCache survived Restore: %+v", got)
+	}
+	// The cached answer must be rebuilt, not served stale.
+	sv2, err := sys.QS.Serve(10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sv2.Release()
+	if sv2.Source == ServedHit {
+		t.Fatal("pre-restore cache entry served after Restore")
+	}
+	if _, err := sys.Verifier.VerifyAnswer(sv2.Answer, 10, 500, 10_000); err != nil {
+		t.Fatalf("post-restore answer failed verification: %v", err)
+	}
+	if got, want := sys.QS.Len(), 256; got != want {
+		t.Fatalf("restored population %d, want %d", got, want)
+	}
+}
+
+// TestApplySummaryIdempotent: re-delivering a summary (an at-least-once
+// channel, or a recovery replay racing its watermark) must not
+// duplicate the stream — duplicates would break every client's
+// sequence-contiguity check.
+func TestApplySummaryIdempotent(t *testing.T) {
+	sys := newSystem(t, xortest.New())
+	load(t, sys, 32)
+	msg, err := sys.DA.ClosePeriod(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil { // re-delivery
+		t.Fatal(err)
+	}
+	sums := sys.QS.SummariesSince(0)
+	if len(sums) != 1 {
+		t.Fatalf("summary stream holds %d entries after re-delivery, want 1", len(sums))
+	}
+}

@@ -53,6 +53,11 @@ func (v *Verifier) SummaryCount() int { return v.checker.Len() }
 // resuming a summary stream knows where to ingest from.
 func (v *Verifier) LatestSummary() (freshness.Summary, bool) { return v.checker.Latest() }
 
+// SummaryBySeq returns the held summary with the given sequence number,
+// so a session can compare a re-delivered summary against what it
+// already verified (divergence means the server's state rolled back).
+func (v *Verifier) SummaryBySeq(seq uint64) (freshness.Summary, bool) { return v.checker.BySeq(seq) }
+
 // FreshnessReport is the per-record outcome of the freshness check.
 type FreshnessReport struct {
 	// MaxStaleness is the worst-case staleness bound across the answer's

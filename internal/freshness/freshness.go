@@ -194,6 +194,97 @@ func (p *Publisher) Since(ts int64) []Summary {
 	return append([]Summary(nil), p.history[i:]...)
 }
 
+// PublisherState is a Publisher's serializable period state: everything
+// a crash-recovered owner needs to resume publishing mid-period without
+// re-contacting anyone. Cur is the current period's bitmap in its
+// compressed wire form (see package bitmap), so the snapshot costs
+// bytes proportional to the slots actually touched.
+type PublisherState struct {
+	Seq     uint64
+	LastTS  int64
+	Cur     []byte      // compressed current-period bitmap
+	Touched map[int]int // slot -> updates this period
+	History []Summary
+	MaxHist int
+}
+
+// State snapshots the publisher for durable storage. The returned value
+// shares nothing with the publisher: later marks and publications never
+// write through it.
+func (p *Publisher) State() *PublisherState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	touched := make(map[int]int, len(p.touched))
+	for slot, n := range p.touched {
+		touched[slot] = n
+	}
+	return &PublisherState{
+		Seq:     p.seq,
+		LastTS:  p.lastTS,
+		Cur:     p.cur.Compress(),
+		Touched: touched,
+		History: append([]Summary(nil), p.history...),
+		MaxHist: p.maxHist,
+	}
+}
+
+// RestoreState replaces the publisher's period state with a snapshot.
+// The signing route (SetSigner) is deliberately untouched: keys and
+// signer wiring belong to the live process, not the snapshot.
+func (p *Publisher) RestoreState(st *PublisherState) error {
+	cur, err := bitmap.Decompress(st.Cur)
+	if err != nil {
+		return fmt.Errorf("freshness: restore bitmap: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq = st.Seq
+	p.lastTS = st.LastTS
+	p.cur = cur
+	p.touched = make(map[int]int, len(st.Touched))
+	for slot, n := range st.Touched {
+		p.touched[slot] = n
+	}
+	p.maxHist = st.MaxHist
+	p.history = append([]Summary(nil), st.History...)
+	if p.maxHist > 0 && len(p.history) > p.maxHist {
+		p.history = p.history[len(p.history)-p.maxHist:]
+	}
+	return nil
+}
+
+// ReplaySummary folds an already-certified summary back into the period
+// state during crash recovery: the same period reset and multi-update
+// report Publish performs, minus the signing (the log carries the
+// signature computed before the crash). Replay is idempotent — a
+// summary at or below the current sequence is a no-op (applied=false) —
+// and a sequence gap is corruption, not a summary to adopt.
+func (p *Publisher) ReplaySummary(s Summary) (multi []int, applied bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s.Seq <= p.seq {
+		return nil, false, nil
+	}
+	if s.Seq != p.seq+1 {
+		return nil, false, fmt.Errorf("freshness: replay summary %d onto sequence %d", s.Seq, p.seq)
+	}
+	for slot, n := range p.touched {
+		if n > 1 {
+			multi = append(multi, slot)
+		}
+	}
+	sort.Ints(multi)
+	p.seq = s.Seq
+	p.lastTS = s.TS
+	p.cur = bitmap.New(p.cur.Len())
+	p.touched = make(map[int]int)
+	p.history = append(p.history, s)
+	if p.maxHist > 0 && len(p.history) > p.maxHist {
+		p.history = p.history[len(p.history)-p.maxHist:]
+	}
+	return multi, true, nil
+}
+
 // Checker is the user side: it validates incoming summaries and answers
 // freshness checks against them.
 type Checker struct {
@@ -245,6 +336,20 @@ func (c *Checker) Latest() (Summary, bool) {
 		return Summary{}, false
 	}
 	return c.sums[len(c.sums)-1], true
+}
+
+// BySeq returns the held summary with the given sequence number. Held
+// summaries are sequence-contiguous (Add enforces it), so this is an
+// index lookup.
+func (c *Checker) BySeq(seq uint64) (Summary, bool) {
+	if len(c.sums) == 0 {
+		return Summary{}, false
+	}
+	first := c.sums[0].Seq
+	if seq < first || seq > c.sums[len(c.sums)-1].Seq {
+		return Summary{}, false
+	}
+	return c.sums[seq-first], true
 }
 
 // Trim drops summaries published before ts (once no record signature

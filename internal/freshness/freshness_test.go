@@ -309,3 +309,83 @@ func TestSinceNoAliasingAfterPublish(t *testing.T) {
 		t.Fatalf("Since past the last summary = %+v, want nil", got)
 	}
 }
+
+// TestPublisherStateRoundtrip: a restored publisher resumes mid-period
+// with the same marks, touch counts and history as the original.
+func TestPublisherStateRoundtrip(t *testing.T) {
+	p, c := newPair(t, 32)
+	p.MarkUpdated(3)
+	p.MarkUpdated(3)
+	p.MarkUpdated(7)
+	feed(t, p, c, 10)
+	p.MarkUpdated(5)
+	p.MarkUpdated(5) // multi this (open) period
+	p.MarkUpdated(9)
+
+	st := p.State()
+	p2, _ := newPair(t, 1) // wrong shape on purpose: restore must replace it
+	if err := p2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if p2.PendingSlots() != 2 {
+		t.Fatalf("restored pending slots %d, want 2", p2.PendingSlots())
+	}
+	// Publishing from original and restored must report the same multis
+	// and mark the same slots. (Signatures differ: different keys.)
+	s1, m1, err := p.Publish(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, m2, err := p2.Publish(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Seq != s2.Seq || s1.PeriodStart != s2.PeriodStart || string(s1.Compressed) != string(s2.Compressed) {
+		t.Fatalf("restored publisher published %+v, want %+v", s2, s1)
+	}
+	if len(m1) != 1 || len(m2) != 1 || m1[0] != 5 || m2[0] != 5 {
+		t.Fatalf("multi reports diverged: %v vs %v", m1, m2)
+	}
+	if len(p2.History()) != len(p.History()) {
+		t.Fatalf("history length %d, want %d", len(p2.History()), len(p.History()))
+	}
+}
+
+// TestReplaySummaryIdempotent: replay applies a logged summary exactly
+// once, rejects gaps, and reproduces Publish's period reset.
+func TestReplaySummaryIdempotent(t *testing.T) {
+	p, _ := newPair(t, 16)
+	p.MarkUpdated(2)
+	p.MarkUpdated(2)
+	s, multiPub, err := p.Publish(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, _ := newPair(t, 16)
+	r.MarkUpdated(2)
+	r.MarkUpdated(2)
+	multi, applied, err := r.ReplaySummary(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || len(multi) != 1 || multi[0] != 2 || len(multiPub) != 1 {
+		t.Fatalf("replay applied=%v multi=%v, want the publish outcome %v", applied, multi, multiPub)
+	}
+	if r.PendingSlots() != 0 {
+		t.Fatal("replay did not reset the period")
+	}
+	// Second delivery: no-op.
+	if _, applied, err := r.ReplaySummary(s); err != nil || applied {
+		t.Fatalf("re-replay applied=%v err=%v, want idempotent no-op", applied, err)
+	}
+	if got := len(r.History()); got != 1 {
+		t.Fatalf("history holds %d summaries after re-replay, want 1", got)
+	}
+	// A gap is corruption, not data.
+	gap := s
+	gap.Seq = 5
+	if _, _, err := r.ReplaySummary(gap); err == nil {
+		t.Fatal("sequence gap replayed silently")
+	}
+}

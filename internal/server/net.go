@@ -401,4 +401,3 @@ func (s *NetServer) writeError(w *connWriter, cause error) error {
 	wire.PutBuffer(buf)
 	return werr
 }
-

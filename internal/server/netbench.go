@@ -237,7 +237,7 @@ func RunNet(cfg NetBenchConfig) (*NetReport, error) {
 // returned stop function (which reports updates, periods closed, and
 // any writer error) has been called.
 func startHotWriter(sys *core.System, catalog []workload.RangeQuery, theta float64, seed int64,
-	every time.Duration, summaryEvery int, ts *int64) func() (int64, int64, error) {
+	every time.Duration, summaryEvery int, ts *int64, logFn func(*core.UpdateMsg) error) func() (int64, int64, error) {
 	if every <= 0 {
 		return func() (int64, int64, error) { return 0, 0, nil }
 	}
@@ -264,6 +264,12 @@ func startHotWriter(sys *core.System, catalog []workload.RangeQuery, theta float
 				werr = fmt.Errorf("server: writer update: %w", err)
 				return
 			}
+			if logFn != nil {
+				if err := logFn(msg); err != nil {
+					werr = fmt.Errorf("server: writer wal: %w", err)
+					return
+				}
+			}
 			if err := sys.QS.Apply(msg); err != nil {
 				werr = fmt.Errorf("server: writer apply: %w", err)
 				return
@@ -275,6 +281,12 @@ func startHotWriter(sys *core.System, catalog []workload.RangeQuery, theta float
 				if err != nil {
 					werr = fmt.Errorf("server: close period: %w", err)
 					return
+				}
+				if logFn != nil {
+					if err := logFn(msg); err != nil {
+						werr = fmt.Errorf("server: writer wal: %w", err)
+						return
+					}
 				}
 				if err := sys.QS.Apply(msg); err != nil {
 					werr = fmt.Errorf("server: apply summary: %w", err)
@@ -297,7 +309,7 @@ func startHotWriter(sys *core.System, catalog []workload.RangeQuery, theta float
 // protocol's re-query and count separately).
 func (b *netBench) runNetPoint(clients int) (*NetPoint, error) {
 	stopWriter := startHotWriter(b.sys, b.catalog, b.cfg.Theta, b.cfg.Seed+999,
-		b.cfg.UpdateEvery, b.cfg.SummaryEvery, &b.updateTS)
+		b.cfg.UpdateEvery, b.cfg.SummaryEvery, &b.updateTS, nil)
 	deadline := time.Now().Add(b.cfg.Duration)
 
 	type clientResult struct {

@@ -15,6 +15,7 @@ import (
 	"authdb/internal/anscache"
 	"authdb/internal/core"
 	"authdb/internal/sigagg"
+	"authdb/internal/wal"
 	"authdb/internal/wire"
 	"authdb/internal/workload"
 )
@@ -59,6 +60,13 @@ type Config struct {
 	VerifyEvery int           // sample every k-th served answer for post-run verification
 	Shards      int           // QueryServer key-range shards (epoch granularity)
 	Seed        int64
+
+	// WALDir, when non-empty, write-ahead logs the writer's update
+	// stream to that directory (group-committed per WALCommit, default
+	// 2ms), so the benchmark reports serving throughput under the same
+	// durability regime authserve -data runs with.
+	WALDir    string
+	WALCommit time.Duration
 }
 
 // DefaultConfig returns a run that finishes in seconds on one core.
@@ -135,6 +143,7 @@ type Report struct {
 	Theta      float64 `json:"theta"`
 	Workers    int     `json:"workers"`
 	DurationMS int64   `json:"duration_ms_per_point"`
+	WAL        bool    `json:"wal,omitempty"` // writer stream was write-ahead logged
 
 	Points []Point `json:"points"`
 
@@ -169,6 +178,7 @@ type bench struct {
 	catalog  []workload.RangeQuery
 	codec    core.AnswerCodec
 	updateTS int64
+	logMsg   func(*core.UpdateMsg) error // WAL hook for the writer (nil = in-memory)
 }
 
 // Run executes the full sweep and returns the report. Progress lines go
@@ -201,9 +211,42 @@ func Run(cfg Config) (*Report, error) {
 	if err := sys.QS.Apply(msg); err != nil {
 		return nil, err
 	}
+	if cfg.WALDir != "" {
+		commit := cfg.WALCommit
+		if commit <= 0 {
+			commit = 2 * time.Millisecond
+		}
+		store, err := wal.Open(cfg.WALDir, wal.Options{GroupCommit: commit})
+		if err != nil {
+			return nil, fmt.Errorf("server: wal: %w", err)
+		}
+		defer store.Close()
+		// Log the (untimed) load in batches: one frame per chunk keeps
+		// every record far from the frame cap regardless of n or scheme.
+		const loadChunk = 4096
+		for lo := 0; lo < len(msg.Upserts); lo += loadChunk {
+			hi := lo + loadChunk
+			if hi > len(msg.Upserts) {
+				hi = len(msg.Upserts)
+			}
+			if _, err := store.AppendMsg(&core.UpdateMsg{TS: msg.TS, Upserts: msg.Upserts[lo:hi]}); err != nil {
+				return nil, err
+			}
+		}
+		b.logMsg = func(m *core.UpdateMsg) error {
+			if _, err := store.AppendMsg(m); err != nil {
+				return err
+			}
+			if m.Summary != nil {
+				return store.Sync() // certified summaries outlive any crash
+			}
+			return nil
+		}
+	}
 	b.catalog = workload.NewHotRangeCatalog(b.keys, cfg.Ranges, cfg.SF, cfg.Seed+101)
 
 	rep := &Report{
+		WAL:        b.logMsg != nil,
 		Scheme:     sys.Scheme.Name(),
 		N:          cfg.N,
 		Ranges:     cfg.Ranges,
@@ -270,7 +313,7 @@ func (b *bench) runPoint(clients int, cached bool) (*Point, error) {
 	// drawn from the catalog's hot head, so invalidations land on the
 	// very ranges the cache is serving.
 	stopWriter := startHotWriter(b.sys, b.catalog, b.cfg.Theta, b.cfg.Seed+999,
-		b.cfg.UpdateEvery, 0, &b.updateTS)
+		b.cfg.UpdateEvery, 0, &b.updateTS, b.logMsg)
 
 	ops := make([][]opRecord, clients)
 	samples := make([][]sample, clients)

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// Non-unix platforms get no advisory locking; the double-open guard is
+// unix-only (the deployment target).
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on the store directory.
+// Two processes appending to the same active segment would interleave
+// frames with colliding LSNs — corruption the CRC scan can only report,
+// not repair — so a double-open must fail cleanly up front. The lock
+// dies with the process (kill -9 included), which is exactly the
+// lifetime a crash-recovering store needs.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: store %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) {
+	if f != nil {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}
+}
