@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal clean
+.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal bench-chaos clean
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal ./internal/faultnet
 
 vet:
 	$(GO) vet ./...
@@ -46,10 +46,15 @@ bench-wal:
 bench-net:
 	$(GO) run ./cmd/authbench net -n $(BENCH_N)
 
+# Emit BENCH_chaos.json (hostile-network soak: faults, kill/recover
+# cycles, overload shedding; non-zero exit on any safety violation).
+bench-chaos:
+	$(GO) run ./cmd/authbench chaos -n 20000
+
 # Run the networked serving daemon (Ctrl-C drains gracefully).
 serve:
 	$(GO) run ./cmd/authserve serve -n $(BENCH_N)
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json
+	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json BENCH_chaos.json

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"authdb/internal/server"
+)
+
+// runChaos drives the hostile-network soak: the durable owner pipeline
+// behind a live server, verifying clients dialing through the faultnet
+// proxy, forced kill/recover cycles, and the admission-control overload
+// phase, writing BENCH_chaos.json. RunChaos fails hard on any safety
+// violation, so a zero exit means every accepted answer verified and
+// the summary stream never diverged.
+func runChaos(args []string) error {
+	fs := newFlags("chaos")
+	schemeName := fs.String("scheme", "xortest", "scheme (bas, crsa, xortest)")
+	n := fs.Int("n", 20_000, "relation size")
+	ranges := fs.Int("ranges", 256, "hot-range catalog size")
+	sf := fs.Float64("sf", 0.0005, "selectivity factor")
+	theta := fs.Float64("theta", 1.07, "zipf exponent (>1)")
+	clients := fs.Int("clients", 4, "concurrent verifying clients per phase")
+	pipeline := fs.Int("pipeline", 4, "queries pipelined per batch")
+	durMS := fs.Int("dur", 1200, "timed window per fault phase (ms)")
+	updEveryMS := fs.Float64("update-every", 2, "writer cadence (ms; 0 = read-only)")
+	sumEvery := fs.Int("summary-every", 20, "close a ρ-period every k updates")
+	profiles := fs.String("profiles", "", "comma-separated faultnet profiles (empty = all built-ins)")
+	restarts := fs.Int("restarts", 3, "kill/recover cycles during the restart phase")
+	overload := fs.Bool("overload", true, "run the admission-shed phase")
+	walDir := fs.String("wal-dir", "", "durable state directory (empty = fresh temp dir)")
+	seed := fs.Int64("seed", 1, "fault/workload seed")
+	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short phases")
+	check := fs.Bool("check", true, "full direct verification sweep at the end")
+	out := fs.String("out", "BENCH_chaos.json", "output JSON path (empty to skip)")
+	validate := fs.String("validate", "", "validate an existing BENCH_chaos.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *validate != "" {
+		return checkChaosJSON(*validate)
+	}
+
+	scheme, err := schemeFromFlag(*schemeName)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+
+	cfg := server.DefaultChaosConfig(scheme)
+	cfg.N = *n
+	cfg.Ranges = *ranges
+	cfg.SF = *sf
+	cfg.Theta = *theta
+	cfg.Clients = *clients
+	cfg.Pipeline = *pipeline
+	cfg.Duration = time.Duration(*durMS) * time.Millisecond
+	cfg.UpdateEvery = time.Duration(*updEveryMS * float64(time.Millisecond))
+	cfg.SummaryEvery = *sumEvery
+	cfg.Restarts = *restarts
+	cfg.Overload = *overload
+	cfg.WALDir = *walDir
+	cfg.Seed = *seed
+	cfg.Check = *check
+	if *short {
+		cfg.N = 4_000
+		cfg.Ranges = 128
+		cfg.Clients = 3
+		cfg.Duration = 400 * time.Millisecond
+		cfg.Restarts = 2
+	}
+	if *profiles != "" {
+		cfg.Profiles = nil
+		for _, p := range strings.Split(*profiles, ",") {
+			cfg.Profiles = append(cfg.Profiles, strings.TrimSpace(p))
+		}
+	}
+
+	rep, err := server.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// checkChaosJSON validates that a BENCH_chaos.json records a run whose
+// invariants actually held: verified goodput in every phase, zero
+// divergence and freshness violations, real shedding, and the final
+// sweep.
+func checkChaosJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep server.ChaosReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("chaos: %s is not valid JSON: %w", path, err)
+	}
+	if len(rep.Phases) == 0 {
+		return fmt.Errorf("chaos: %s: no phases ran", path)
+	}
+	if rep.TotalAccepted == 0 {
+		return fmt.Errorf("chaos: %s: zero verified goodput", path)
+	}
+	if !rep.AllAcceptedVerified {
+		return fmt.Errorf("chaos: %s: acceptance was not gated on verification", path)
+	}
+	if rep.DivergenceEvents != 0 {
+		return fmt.Errorf("chaos: %s: %d divergence events", path, rep.DivergenceEvents)
+	}
+	if rep.FreshnessViolations != 0 {
+		return fmt.Errorf("chaos: %s: %d freshness violations", path, rep.FreshnessViolations)
+	}
+	if rep.OverloadShed == 0 {
+		return fmt.Errorf("chaos: %s: admission control never shed", path)
+	}
+	if !rep.CorrectnessChecked || rep.SweepVerified == 0 {
+		return fmt.Errorf("chaos: %s: final verification sweep did not run", path)
+	}
+	for _, ph := range rep.Phases {
+		if ph.Accepted == 0 {
+			return fmt.Errorf("chaos: %s: phase %q accepted nothing", path, ph.Profile)
+		}
+	}
+	fmt.Printf("chaos: %s is well-formed (%d phases, %d accepted, %d detected, %d shed)\n",
+		path, len(rep.Phases), rep.TotalAccepted, rep.TotalDetected, rep.OverloadShed)
+	return nil
+}

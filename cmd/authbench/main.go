@@ -8,7 +8,7 @@
 //	authbench <experiment> [flags]
 //
 // Experiments: table1 table3 table4 fig4 fig6 fig7 fig8 fig9 fig10
-// fig11 proof ingest serve net all
+// fig11 proof ingest serve net chaos all
 //
 // Absolute numbers depend on the host; the substitutions versus the
 // paper's testbed are catalogued in DESIGN.md.
@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"ingest", "pipelined vs serial signing & batch verification (writes BENCH_ingest.json)", runIngest},
 	{"serve", "answer cache + coalescing serving layer, cold vs cached (writes BENCH_serve.json)", runServe},
 	{"net", "networked serving: verifying clients over loopback TCP (writes BENCH_net.json)", runNet},
+	{"chaos", "hostile-network soak: faults, kills, overload shedding (writes BENCH_chaos.json)", runChaos},
 }
 
 func main() {

@@ -128,6 +128,10 @@ func runServe(args []string) error {
 	maxConns := fs.Int("max-conns", 1024, "concurrent connection cap (0 = unlimited)")
 	maxFrame := fs.Int("max-frame", 1<<20, "request frame size cap (bytes)")
 	idleSec := fs.Int("idle-timeout", 300, "drop connections idle for this many seconds (0 = never)")
+	readSec := fs.Int("read-timeout", 30, "cut off peers that announce a frame and stall its payload (seconds; 0 = never)")
+	writeSec := fs.Int("write-timeout", 30, "cut off peers that stop draining responses (seconds; 0 = never)")
+	maxInflight := fs.Int("max-inflight", 0, "admission control: concurrent requests executing (0 = unlimited)")
+	maxPending := fs.Int("max-pending", 0, "admission control: requests queued beyond the in-flight cap before shedding (with -max-inflight)")
 	seed := fs.Int64("seed", 1, "relation generator seed")
 	dataDir := fs.String("data", "", "durable state directory (write-ahead log + snapshots; empty = in-memory only)")
 	snapEvery := fs.Int("snap-every", 2000, "background snapshot + log truncation every k logged messages (0 = initial snapshot only)")
@@ -227,9 +231,13 @@ func runServe(args []string) error {
 	}
 
 	srv := server.NewNetServer(sys.QS, server.NetConfig{
-		MaxConns:    *maxConns,
-		MaxFrame:    *maxFrame,
-		IdleTimeout: time.Duration(*idleSec) * time.Second,
+		MaxConns:     *maxConns,
+		MaxFrame:     *maxFrame,
+		IdleTimeout:  time.Duration(*idleSec) * time.Second,
+		ReadTimeout:  time.Duration(*readSec) * time.Second,
+		WriteTimeout: time.Duration(*writeSec) * time.Second,
+		MaxInflight:  *maxInflight,
+		MaxPending:   *maxPending,
 	})
 	ln, err := srv.Listen(*addr)
 	if err != nil {
@@ -368,6 +376,8 @@ func runQuery(args []string) error {
 	lo := fs.Int64("lo", 0, "range low key")
 	hi := fs.Int64("hi", 1000, "range high key")
 	count := fs.Int("count", 1, "repeat the query this many times (pipelined)")
+	retries := fs.Int("retries", 3, "attempts per request across reconnects/backoff (1 = fail fast)")
+	reqSec := fs.Int("request-timeout", 30, "per-request deadline (seconds; 0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -385,7 +395,13 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	cl, err := client.Dial(*addr, client.Config{Scheme: bound, Pub: pub, DialTimeout: 5 * time.Second})
+	cl, err := client.Dial(*addr, client.Config{
+		Scheme:         bound,
+		Pub:            pub,
+		DialTimeout:    5 * time.Second,
+		RequestTimeout: time.Duration(*reqSec) * time.Second,
+		Retry:          client.RetryPolicy{MaxAttempts: *retries},
+	})
 	if err != nil {
 		return err
 	}

@@ -7,8 +7,22 @@
 //
 // The server is untrusted: nothing it sends is believed until the
 // verifier has checked it against the data aggregator's public key.
-// A Client is not safe for concurrent use — it owns one connection and
-// one verifier state; concurrent users each dial their own.
+//
+// Ownership: a Client owns one connection and one verifier state, and
+// every exported method serializes on an internal mutex — concurrent
+// callers are safe but take turns, so a retry loop in one goroutine can
+// never interleave its frames with another's. For parallel query
+// throughput, dial one Client per goroutine.
+//
+// The network is no more trusted than the server. With a RetryPolicy
+// configured the client survives hostile transports: per-request
+// deadlines, automatic reconnect with capped exponential backoff and
+// jitter, idempotent resend of 'Q'/'S' requests, and backoff on
+// ErrOverloaded shed responses. Every reconnect re-anchors the
+// certified summary stream (the SyncSummaries/ErrDiverged machinery),
+// so flaky networking can never trick a session into trusting a
+// rolled-back or stale server — faults may fail requests, but they can
+// never widen what the client accepts.
 package client
 
 import (
@@ -16,7 +30,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync"
 	"time"
 
 	"authdb/internal/core"
@@ -37,6 +53,14 @@ type Config struct {
 	MaxFrame int
 	// DialTimeout bounds connection establishment (0 = no limit).
 	DialTimeout time.Duration
+	// RequestTimeout bounds each request round trip — writes plus the
+	// reads of every pipelined response (0 = no limit). On expiry the
+	// connection is unusable (responses can no longer be matched) and
+	// the retry machinery, if enabled, reconnects.
+	RequestTimeout time.Duration
+	// Retry enables automatic recovery from transport faults and
+	// overload shedding; the zero value means one attempt per request.
+	Retry RetryPolicy
 	// Now supplies the protocol clock used for freshness bounds. The
 	// protocol's timestamps are logical; by default every certified
 	// answer is simply checked against all summaries held.
@@ -45,20 +69,29 @@ type Config struct {
 
 // Stats are the client's monotonic counters.
 type Stats struct {
-	Queries   uint64 // answers fetched
-	Verified  uint64 // answers that passed full verification
-	Summaries uint64 // certified summaries ingested
-	BytesIn   uint64 // response payload bytes received
+	Queries    uint64 // answers fetched
+	Verified   uint64 // answers that passed full verification
+	Summaries  uint64 // certified summaries ingested
+	BytesIn    uint64 // response payload bytes received
+	Retries    uint64 // operations resent after a retryable failure
+	Reconnects uint64 // connections re-established
+	Shed       uint64 // operations rejected by server overload shedding
 }
 
 // Client is one verifying session against a networked query server.
+// All exported methods are safe for concurrent use; they serialize on
+// an internal mutex (see the package comment).
 type Client struct {
+	mu       sync.Mutex
 	cfg      Config
+	addr     string // last dialed address, the retry reconnect target
 	conn     net.Conn
 	br       *bufio.Reader
 	bw       *bufio.Writer
 	verifier *core.Verifier
 	frame    []byte // reusable response frame buffer
+	rng      *rand.Rand
+	sleep    func(time.Duration) // indirection for deterministic tests
 	stats    Stats
 }
 
@@ -77,44 +110,157 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return &Client{
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Client{
 		cfg:      cfg,
+		addr:     addr,
 		conn:     conn,
-		br:       bufio.NewReaderSize(conn, 64<<10),
-		bw:       bufio.NewWriterSize(conn, 16<<10),
 		verifier: core.NewVerifier(cfg.Scheme, cfg.Pub, cfg.Protocol),
-	}, nil
+		rng:      rand.New(rand.NewSource(seed)),
+		sleep:    time.Sleep,
+	}
+	c.resetBuffers()
+	return c, nil
+}
+
+func (c *Client) resetBuffers() {
+	c.br = bufio.NewReaderSize(c.conn, 64<<10)
+	c.bw = bufio.NewWriterSize(c.conn, 16<<10)
 }
 
 // Close tears the connection down. The verifier state (ingested
 // summaries) is discarded with the client.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
 
 // Reconnect dials addr again after a broken connection — typically a
-// server restart — preserving the session's verifier state. The
-// certified summary stream the session holds survives, so answers from
-// the restarted server are still judged against everything this user
-// has ever been shown: a server that recovered durably bridges
-// seamlessly (its stream continues the held sequence), and one that
-// lost state is caught by the divergence check (ErrDiverged) instead of
-// silently rolling the session's freshness anchor back.
+// server restart — preserving the session's verifier state, then
+// re-anchors the certified summary stream: the newest held summary is
+// re-fetched from the new server and compared byte-for-byte against
+// the held copy, and any newer summaries are ingested. A server that
+// recovered durably bridges seamlessly (its stream continues the held
+// sequence); one that lost state is caught by the divergence check
+// (ErrDiverged) instead of silently rolling the session's freshness
+// anchor back. On ErrDiverged the connection is established but the
+// session refuses to trust it.
 func (c *Client) Reconnect(addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addr = addr
+	if err := c.redial(); err != nil {
+		return err
+	}
+	return c.reanchor()
+}
+
+// redial re-establishes the transport to c.addr.
+func (c *Client) redial() error {
 	c.conn.Close() // best effort; the old conn is usually already dead
-	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("client: reconnect %s: %w", addr, err)
+		return fmt.Errorf("client: reconnect %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.br = bufio.NewReaderSize(conn, 64<<10)
-	c.bw = bufio.NewWriterSize(conn, 16<<10)
+	c.resetBuffers()
+	c.stats.Reconnects++
+	return nil
+}
+
+// reanchor replays the summary sync from the newest held summary's
+// timestamp (inclusive, so the server must re-send the tip and the
+// held/resent comparison runs), detecting rollback and catching up on
+// anything published while the session was disconnected.
+func (c *Client) reanchor() error {
+	anchor := int64(0)
+	if latest, ok := c.verifier.LatestSummary(); ok {
+		anchor = latest.TS
+	}
+	if _, err := c.syncSummaries(anchor); err != nil {
+		return err
+	}
 	return nil
 }
 
 // Stats snapshots the session counters.
-func (c *Client) Stats() Stats { return c.stats }
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // SummaryCount reports how many certified summaries the session holds.
-func (c *Client) SummaryCount() int { return c.verifier.SummaryCount() }
+func (c *Client) SummaryCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verifier.SummaryCount()
+}
+
+// withRetry runs one idempotent operation under the session's retry
+// policy: overload sheds back off and resend on the live connection;
+// transport faults back off, reconnect (which re-anchors the summary
+// stream), and resend; everything else — verification failures,
+// divergence, semantic server errors — is surfaced immediately.
+func (c *Client) withRetry(op func() error) error {
+	attempts := c.cfg.Retry.attempts()
+	reconnect := false
+	var err error
+	for attempt := 1; ; attempt++ {
+		if reconnect {
+			if rerr := c.redial(); rerr != nil {
+				err = rerr
+			} else if rerr := c.reanchor(); rerr != nil {
+				if errors.Is(rerr, ErrDiverged) {
+					return rerr // never retried away
+				}
+				err = rerr
+			} else {
+				reconnect = false
+			}
+		}
+		if !reconnect {
+			err = op()
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrOverloaded) {
+			c.stats.Shed++
+		}
+		if attempt >= attempts {
+			return err
+		}
+		switch classify(err) {
+		case rcFatal:
+			return err
+		case rcReconnect:
+			reconnect = true
+			c.conn.Close() // wake anything stuck and force a fresh dial
+		case rcBackoff:
+		}
+		c.stats.Retries++
+		c.sleep(c.cfg.Retry.delay(attempt, c.rng))
+	}
+}
+
+// armDeadline starts the per-request clock; clearDeadline stops it
+// after a completed round trip.
+func (c *Client) armDeadline() {
+	if t := c.cfg.RequestTimeout; t > 0 {
+		c.conn.SetDeadline(time.Now().Add(t))
+	}
+}
+
+func (c *Client) clearDeadline() {
+	if c.cfg.RequestTimeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
 
 // readFrame reads one response frame into the client's reusable buffer.
 // The result is valid until the next read.
@@ -131,6 +277,18 @@ func (c *Client) readFrame() ([]byte, error) {
 // ErrServer wraps error responses the server sent ('E' frames).
 var ErrServer = errors.New("client: server error")
 
+// ErrOverloaded (an ErrServer) reports that admission control shed the
+// request before doing any work. The connection is healthy; the right
+// reaction is to back off and resend, which the retry machinery does
+// automatically when enabled.
+var ErrOverloaded = fmt.Errorf("%w: overloaded", ErrServer)
+
+// ErrBadFrame (an ErrServer) reports that the server could not parse a
+// request frame. Since this client always encodes well-formed frames,
+// it treats the response as evidence of in-flight corruption and — with
+// retries enabled — resends over a fresh connection.
+var ErrBadFrame = fmt.Errorf("%w: request frame rejected", ErrServer)
+
 // ErrDiverged (an ErrServer) reports that a summary the server supplied
 // contradicts the same-sequence summary this session already verified —
 // the signature of a server whose certified state rolled back, e.g. a
@@ -141,7 +299,11 @@ var ErrServer = errors.New("client: server error")
 var ErrDiverged = fmt.Errorf("%w: certified summary stream diverged (server lost durable state?)", ErrServer)
 
 // checkHeld compares an incoming summary against the same-sequence
-// summary the session already holds, if any.
+// summary the session already holds, if any. A mismatch is accused as
+// divergence only after the incoming summary's signature verifies:
+// rollback evidence must be authenticated, or in-flight bit flips could
+// forge "divergence" and kill honest sessions (the conflict is then
+// just transport corruption, and retryable).
 func (c *Client) checkHeld(s *freshness.Summary) error {
 	held, ok := c.verifier.SummaryBySeq(s.Seq)
 	if !ok {
@@ -149,6 +311,10 @@ func (c *Client) checkHeld(s *freshness.Summary) error {
 	}
 	if held.TS != s.TS || held.PeriodStart != s.PeriodStart ||
 		!bytes.Equal(held.Compressed, s.Compressed) || !bytes.Equal(held.Sig, s.Sig) {
+		if err := c.verifier.VerifySummarySig(s); err != nil {
+			return fmt.Errorf("%w: conflicting summary %d is unauthenticated (%v)",
+				wire.ErrCorrupt, s.Seq, err)
+		}
 		return fmt.Errorf("%w: summary %d", ErrDiverged, s.Seq)
 	}
 	return nil
@@ -165,13 +331,27 @@ func decodeAnswerFrame(data []byte) (*core.Answer, error) {
 	case 'A':
 		return wire.DecodeAnswer(data)
 	case 'E':
-		msg, err := wire.DecodeError(data)
-		if err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+		return nil, decodeErrorFrame(data)
 	default:
 		return nil, fmt.Errorf("%w: unexpected response kind %q", wire.ErrCorrupt, kind)
+	}
+}
+
+// decodeErrorFrame maps a server 'E' response to the sentinel its code
+// selects, so callers (and the retry classifier) can react without
+// parsing prose.
+func decodeErrorFrame(data []byte) error {
+	code, msg, err := wire.DecodeErrorCode(data)
+	if err != nil {
+		return err
+	}
+	switch code {
+	case wire.ErrCodeOverloaded:
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	case wire.ErrCodeBadFrame:
+		return fmt.Errorf("%w: %s", ErrBadFrame, msg)
+	default:
+		return fmt.Errorf("%w: %s", ErrServer, msg)
 	}
 }
 
@@ -179,7 +359,9 @@ func decodeAnswerFrame(data []byte) (*core.Answer, error) {
 // verifying it. Callers that trust nothing (all of them — the server is
 // untrusted) pass the result through Verify, or use Query.
 func (c *Client) Fetch(lo, hi int64) (*core.Answer, error) {
-	answers, err := c.FetchBatch([]core.Range{{Lo: lo, Hi: hi}})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	answers, err := c.fetchBatchRetry([]core.Range{{Lo: lo, Hi: hi}})
 	if err != nil {
 		return nil, err
 	}
@@ -192,9 +374,33 @@ func (c *Client) Fetch(lo, hi int64) (*core.Answer, error) {
 // reported errors for some queries, every response is still drained
 // (the connection stays usable) and the first error is returned.
 func (c *Client) FetchBatch(ranges []core.Range) ([]*core.Answer, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fetchBatchRetry(ranges)
+}
+
+// fetchBatchRetry is fetchBatch under the retry policy. The whole batch
+// is resent on a retryable failure — queries are idempotent reads, and
+// nothing from a failed attempt is kept.
+func (c *Client) fetchBatchRetry(ranges []core.Range) ([]*core.Answer, error) {
+	var answers []*core.Answer
+	err := c.withRetry(func() error {
+		var oerr error
+		answers, oerr = c.fetchBatch(ranges)
+		return oerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+func (c *Client) fetchBatch(ranges []core.Range) ([]*core.Answer, error) {
 	if len(ranges) == 0 {
 		return nil, nil
 	}
+	c.armDeadline()
+	defer c.clearDeadline()
 	req := wire.GetBuffer()
 	for _, r := range ranges {
 		req = wire.AppendQueryReq(req[:0], r.Lo, r.Hi)
@@ -222,6 +428,11 @@ func (c *Client) FetchBatch(ranges []core.Range) ([]*core.Answer, error) {
 			if !errors.Is(err, ErrServer) {
 				return nil, firstErr // undecodable frame: cannot stay in sync
 			}
+			if errors.Is(err, ErrBadFrame) {
+				// The server closes the connection after a frame it could
+				// not parse; nothing further is coming.
+				return nil, firstErr
+			}
 			continue
 		}
 		answers[i] = ans
@@ -247,7 +458,18 @@ func (c *Client) FetchBatch(ranges []core.Range) ([]*core.Answer, error) {
 // freshness.ErrStale from Verify is the protocol working: a summary
 // proves a newer version of an answered record exists, and the caller
 // re-queries.
+//
+// Verification itself never retries — it runs at most once per fetched
+// answer, on exactly the bytes that attempt delivered. Only the
+// bridging fetches of missing certified summaries (plain idempotent 'S'
+// reads) go through the retry machinery.
 func (c *Client) Verify(answers []*core.Answer, ranges []core.Range) ([]*core.FreshnessReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verify(answers, ranges)
+}
+
+func (c *Client) verify(answers []*core.Answer, ranges []core.Range) ([]*core.FreshnessReport, error) {
 	if err := c.bridgeSummaries(answers); err != nil {
 		return nil, err
 	}
@@ -294,6 +516,16 @@ func (c *Client) bridgeSummaries(answers []*core.Answer) error {
 		return nil
 	}
 	for seq := held + 1; seq <= max; seq++ {
+		if latest, lok := c.verifier.LatestSummary(); lok && latest.Seq >= seq {
+			// A reconnect re-anchor inside a gap fetch already ingested this
+			// sequence number; just cross-check any attached copy.
+			if s, aok := bySeq[seq]; aok {
+				if err := c.checkHeld(s); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		s, ok := bySeq[seq]
 		if !ok {
 			// Fetch the next page of the gap from the server. Everything
@@ -305,7 +537,7 @@ func (c *Client) bridgeSummaries(answers []*core.Answer) error {
 			if latest, lok := c.verifier.LatestSummary(); lok {
 				sinceTS = latest.TS + 1
 			}
-			sums, err := c.fetchSummaries(sinceTS)
+			sums, err := c.fetchSummariesRetry(sinceTS)
 			if err != nil {
 				return err
 			}
@@ -338,13 +570,16 @@ func (c *Client) Query(lo, hi int64) (*core.Answer, *core.FreshnessReport, error
 }
 
 // QueryBatch pipelines the queries and batch-verifies all answers in
-// one pass.
+// one pass. The fetch retries under the session policy; verification of
+// the delivered bytes runs exactly once.
 func (c *Client) QueryBatch(ranges []core.Range) ([]*core.Answer, []*core.FreshnessReport, error) {
-	answers, err := c.FetchBatch(ranges)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	answers, err := c.fetchBatchRetry(ranges)
 	if err != nil {
 		return nil, nil, err
 	}
-	reports, err := c.Verify(answers, ranges)
+	reports, err := c.verify(answers, ranges)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -360,6 +595,23 @@ func (c *Client) QueryBatch(ranges []core.Range) ([]*core.Answer, []*core.Freshn
 // frame, so the sync pages with advancing since-timestamps until a
 // response comes back empty.
 func (c *Client) SyncSummaries(since int64) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	err := c.withRetry(func() error {
+		n, oerr := c.syncSummaries(since)
+		total += n
+		return oerr
+	})
+	return total, err
+}
+
+// syncSummaries is one sync attempt: page through the server's stream
+// from since until a response comes back empty. Re-running it after a
+// mid-sync fault is harmless — already-held sequence numbers are
+// cross-checked and skipped, so the retry wrapper can treat the whole
+// sync as idempotent.
+func (c *Client) syncSummaries(since int64) (int, error) {
 	total := 0
 	cursor := since
 	for {
@@ -383,8 +635,25 @@ func (c *Client) SyncSummaries(since int64) (int, error) {
 	}
 }
 
+// fetchSummariesRetry is fetchSummaries under the retry policy, for
+// callers outside withRetry (the Verify gap bridge).
+func (c *Client) fetchSummariesRetry(since int64) ([]freshness.Summary, error) {
+	var sums []freshness.Summary
+	err := c.withRetry(func() error {
+		var oerr error
+		sums, oerr = c.fetchSummaries(since)
+		return oerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
 // fetchSummaries round-trips one summaries-since request.
 func (c *Client) fetchSummaries(since int64) ([]freshness.Summary, error) {
+	c.armDeadline()
+	defer c.clearDeadline()
 	req := wire.AppendSummariesReq(wire.GetBuffer(), since)
 	werr := wire.WriteFrame(c.bw, req)
 	wire.PutBuffer(req)
@@ -403,11 +672,7 @@ func (c *Client) fetchSummaries(since int64) ([]freshness.Summary, error) {
 		return nil, err
 	}
 	if kind == 'E' {
-		msg, err := wire.DecodeError(data)
-		if err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: %s", ErrServer, msg)
+		return nil, decodeErrorFrame(data)
 	}
 	return wire.DecodeSummaries(data)
 }

@@ -110,6 +110,51 @@ func TestTamperedAnswerRejected(t *testing.T) {
 	}
 }
 
+// TestCorruptedConflictingSummaryIsNotDivergence: a re-delivered
+// summary that conflicts with the held copy is accused of rollback only
+// when it is validly signed. Garbled bytes that happen to decode are
+// transport corruption — retryable — or a hostile network could forge
+// "divergence" with a bit flip and kill honest sessions. (The
+// validly-signed conflict case is covered by the server restart
+// rollback test, which really does rewind durable state.)
+func TestCorruptedConflictingSummaryIsNotDivergence(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	// Publish one certified summary so answers have something to attach.
+	msg, err := sys.DA.ClosePeriod(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(addr, client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// First round ingests the certified summary stream.
+	if _, _, err := cl.Query(keys[5], keys[40]); err != nil {
+		t.Fatal(err)
+	}
+	// The next answer re-delivers the held summary; corrupt that copy.
+	ranges := []core.Range{{Lo: keys[5], Hi: keys[40]}}
+	answers, err := cl.FetchBatch(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers[0].Summaries) == 0 || len(answers[0].Summaries[0].Compressed) == 0 {
+		t.Fatal("fixture answer carries no re-delivered summary to corrupt")
+	}
+	answers[0].Summaries[0].Compressed[0] ^= 0x40
+	_, err = cl.Verify(answers, ranges)
+	if !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("corrupted conflicting summary: %v, want wire.ErrCorrupt", err)
+	}
+	if errors.Is(err, client.ErrDiverged) {
+		t.Fatal("transport corruption misdiagnosed as stream divergence")
+	}
+}
+
 // TestHostileServer: a peer that speaks garbage is rejected at the wire
 // layer, before any cryptographic check.
 func TestHostileServer(t *testing.T) {

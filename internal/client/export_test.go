@@ -1,0 +1,11 @@
+package client
+
+import "time"
+
+// SetSleep replaces the backoff sleeper so tests observe and skip real
+// delays.
+func (c *Client) SetSleep(fn func(time.Duration)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleep = fn
+}

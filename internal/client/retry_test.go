@@ -1,0 +1,70 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"authdb/internal/wire"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	var p RetryPolicy
+	if got := p.attempts(); got != 1 {
+		t.Fatalf("zero policy attempts = %d, want 1", got)
+	}
+	p.MaxAttempts = 5
+	if got := p.attempts(); got != 5 {
+		t.Fatalf("attempts = %d, want 5", got)
+	}
+}
+
+func TestRetryDelayExponentialAndCapped(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 60 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 60, 60} // ms, capped
+	for i, w := range want {
+		if got := p.delay(i+1, nil); got != w*time.Millisecond {
+			t.Fatalf("delay(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryDelayJitterDeterministic(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	a := p.delay(1, rand.New(rand.NewSource(7)))
+	b := p.delay(1, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatalf("same seed, different delays: %v vs %v", a, b)
+	}
+	// Default ±20% jitter stays inside the band.
+	if a < 80*time.Millisecond || a > 120*time.Millisecond {
+		t.Fatalf("jittered delay %v outside ±20%% of 100ms", a)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want retryClass
+	}{
+		{fmt.Errorf("q: %w", ErrDiverged), rcFatal},
+		{fmt.Errorf("q: %w", ErrOverloaded), rcBackoff},
+		{fmt.Errorf("q: %w", ErrBadFrame), rcReconnect},
+		{fmt.Errorf("q: %w", ErrServer), rcFatal},
+		{fmt.Errorf("q: %w", wire.ErrCorrupt), rcReconnect},
+		{io.EOF, rcReconnect},
+		{io.ErrUnexpectedEOF, rcReconnect},
+		{&net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, rcReconnect},
+		{errors.New("dial tcp: connection refused"), rcReconnect},
+	}
+	for _, c := range cases {
+		if got := classify(c.err); got != c.want {
+			t.Errorf("classify(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -58,6 +58,19 @@ func (v *Verifier) LatestSummary() (freshness.Summary, bool) { return v.checker.
 // already verified (divergence means the server's state rolled back).
 func (v *Verifier) SummaryBySeq(seq uint64) (freshness.Summary, bool) { return v.checker.BySeq(seq) }
 
+// VerifySummarySig checks a summary's certification signature alone,
+// without ingesting it. Sessions use it to authenticate conflicting
+// summary evidence before concluding the server's stream diverged: a
+// rollback accusation must rest on validly signed data, or a garbled
+// network could forge "divergence" out of bit flips.
+func (v *Verifier) VerifySummarySig(s *freshness.Summary) error {
+	d := s.Digest()
+	if err := v.scheme.Verify(v.pub, d[:], s.Sig); err != nil {
+		return fmt.Errorf("core: summary %d signature: %w", s.Seq, err)
+	}
+	return nil
+}
+
 // FreshnessReport is the per-record outcome of the freshness check.
 type FreshnessReport struct {
 	// MaxStaleness is the worst-case staleness bound across the answer's

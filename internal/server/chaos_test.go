@@ -1,0 +1,60 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"authdb/internal/sigagg/xortest"
+)
+
+// TestChaosSoakShort runs a compressed version of the full chaos soak —
+// every fault profile, forced restarts with WAL recovery, and the
+// overload phase — asserting the run's built-in invariants: nonzero
+// verified goodput under every regime, zero divergence events, zero
+// freshness violations, and real shedding above the admission cap.
+func TestChaosSoakShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	cfg := DefaultChaosConfig(xortest.New())
+	cfg.N = 4_000
+	cfg.Ranges = 128
+	cfg.Clients = 3
+	cfg.Duration = 400 * time.Millisecond
+	cfg.Restarts = 2
+	cfg.WALDir = t.TempDir()
+
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalAccepted == 0 {
+		t.Fatal("no verified goodput under faults")
+	}
+	if rep.DivergenceEvents != 0 {
+		t.Fatalf("%d divergence events across durable restarts", rep.DivergenceEvents)
+	}
+	if rep.FreshnessViolations != 0 {
+		t.Fatalf("%d freshness violations", rep.FreshnessViolations)
+	}
+	if rep.OverloadShed == 0 {
+		t.Fatal("admission control never shed during the overload phase")
+	}
+	if !rep.CorrectnessChecked {
+		t.Fatal("final verification sweep did not run")
+	}
+	for _, ph := range rep.Phases {
+		if ph.Accepted == 0 {
+			t.Errorf("phase %q accepted nothing", ph.Profile)
+		}
+	}
+	// The hostile phases must actually have been hostile: at least one
+	// detected fault or retry across the run.
+	hostile := rep.TotalDetected
+	for _, ph := range rep.Phases {
+		hostile += int64(ph.ClientRetries + ph.ClientReconnects)
+	}
+	if hostile == 0 {
+		t.Error("no faults detected or retried anywhere — injection inert?")
+	}
+}

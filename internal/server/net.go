@@ -24,10 +24,26 @@ type NetConfig struct {
 	// knows what it sends.
 	MaxFrame int
 	// IdleTimeout closes a connection that sends no request for this
-	// long (0 = never).
+	// long (0 = never). A reaped connection frees its MaxConns slot, so
+	// an adversary cannot park idle sockets to starve real clients.
 	IdleTimeout time.Duration
+	// ReadTimeout bounds the receipt of one request's payload once its
+	// header has arrived (0 = never): a slow-loris peer dripping a
+	// frame byte-by-byte is cut off instead of occupying a handler
+	// indefinitely. The idle wait for the next header is governed by
+	// IdleTimeout — set both for full slow-peer protection.
+	ReadTimeout time.Duration
 	// WriteTimeout bounds each response write (0 = never).
 	WriteTimeout time.Duration
+	// MaxInflight caps requests executing concurrently across all
+	// connections (0 = unlimited). Unlike MaxConns it bounds work, not
+	// sockets.
+	MaxInflight int
+	// MaxPending bounds the admission queue in front of the MaxInflight
+	// slots. A request that finds the slots busy and the queue full is
+	// shed immediately with an ErrCodeOverloaded 'E' response, telling
+	// the client to back off. Only meaningful with MaxInflight > 0.
+	MaxPending int
 	// MaxSummaries caps the certified summaries returned per 'S'
 	// response (0 = DefaultMaxSummaries). A long-lived server's backlog
 	// grows without bound, so log-in syncs page through it: the client
@@ -45,6 +61,9 @@ type NetStats struct {
 	Queries   uint64 // 'Q' frames served
 	Summaries uint64 // 'S' frames served
 	Errors    uint64 // 'E' responses sent
+	Shed      uint64 // requests rejected by admission control
+	Queued    uint64 // requests that waited in the admission queue
+	Malformed uint64 // connections dropped for unparseable frames
 	BytesOut  uint64 // response payload bytes written
 }
 
@@ -67,11 +86,13 @@ type NetServer struct {
 
 	wg  sync.WaitGroup
 	sem chan struct{} // MaxConns slots, nil when unlimited
+	adm *admission   // nil when MaxInflight is unlimited
 
 	conNum    atomic.Uint64
 	queries   atomic.Uint64
 	summaries atomic.Uint64
 	errs      atomic.Uint64
+	malformed atomic.Uint64
 	bytesOut  atomic.Uint64
 }
 
@@ -83,6 +104,7 @@ func NewNetServer(qs *core.QueryServer, cfg NetConfig) *NetServer {
 		cfg:   cfg,
 		codec: Codec(),
 		conns: make(map[net.Conn]struct{}),
+		adm:   newAdmission(cfg.MaxInflight, cfg.MaxPending),
 	}
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
@@ -194,6 +216,7 @@ func (s *NetServer) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.drain.Store(true)
+	s.adm.close() // queued requests are shed, not served, past this point
 	ln := s.ln
 	// Wake handlers blocked between requests; one mid-request finishes
 	// its writes and exits at its next read.
@@ -227,13 +250,19 @@ func (s *NetServer) Shutdown(ctx context.Context) error {
 
 // Stats snapshots the listener counters.
 func (s *NetServer) Stats() NetStats {
-	return NetStats{
+	st := NetStats{
 		Conns:     s.conNum.Load(),
 		Queries:   s.queries.Load(),
 		Summaries: s.summaries.Load(),
 		Errors:    s.errs.Load(),
+		Malformed: s.malformed.Load(),
 		BytesOut:  s.bytesOut.Load(),
 	}
+	if s.adm != nil {
+		st.Shed = s.adm.shed.Load()
+		st.Queued = s.adm.queued.Load()
+	}
+	return st
 }
 
 // connWriter batches response writes per connection; bufio would do,
@@ -284,6 +313,13 @@ func (w *connWriter) flush() error {
 // handle runs one connection's request loop: read a frame, dispatch,
 // and flush responses once no further request is already buffered (so
 // a pipelined burst is answered with one write).
+//
+// Hardening: the idle wait for a request header is bounded by
+// IdleTimeout, the receipt of an announced payload by ReadTimeout (a
+// slow-loris dripping a frame cannot park the handler), every request
+// passes the admission gate (overflow is shed with ErrCodeOverloaded),
+// and a peer whose frames do not parse is cut off — closing only this
+// connection, never disturbing the others.
 func (s *NetServer) handle(conn net.Conn) {
 	rd := bufio.NewReaderSize(conn, 4096)
 	w := &connWriter{conn: conn, s: s}
@@ -298,20 +334,55 @@ func (s *NetServer) handle(conn net.Conn) {
 				return // lost the race with Shutdown's deadline poke
 			}
 		}
-		var err error
-		frame, err = wire.ReadFrame(rd, frame, s.cfg.MaxFrame)
+		n, err := wire.ReadFrameHeader(rd, s.cfg.MaxFrame)
 		if err != nil {
 			if errors.Is(err, wire.ErrCorrupt) {
-				s.writeError(w, err)
+				s.malformed.Add(1)
+				s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
 				w.flush()
 			}
-			return // EOF, timeout, or a peer we cannot re-sync with
+			return // EOF, timeout, or an oversized/garbled header
+		}
+		if t := s.cfg.ReadTimeout; t > 0 && n > rd.Buffered() {
+			// The header announced n bytes: the peer gets a bounded
+			// window to deliver them, however idle-tolerant the server
+			// otherwise is.
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		frame, err = wire.ReadFramePayload(rd, frame, n)
+		if err != nil {
+			if errors.Is(err, wire.ErrCorrupt) {
+				s.malformed.Add(1)
+				s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
+				w.flush()
+			}
+			return // timeout mid-payload or torn frame: cannot re-sync
+		}
+		if s.cfg.ReadTimeout > 0 && s.cfg.IdleTimeout <= 0 {
+			// No idle bound: clear the payload deadline so it cannot
+			// reap a legitimately idle wait for the next request.
+			// (Shutdown's wake-up poke is still honored by the drain
+			// check at the top of the loop.)
+			conn.SetReadDeadline(time.Time{})
 		}
 		kind, err := wire.Kind(frame)
 		if err != nil {
-			s.writeError(w, err)
+			s.malformed.Add(1)
+			s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
 			w.flush()
 			return
+		}
+		if !s.adm.acquire() {
+			// Shed: reject fast with a machine-readable overload code so
+			// the client backs off; the connection stays healthy.
+			if err := s.writeErrorCode(w, wire.ErrCodeOverloaded,
+				errOverloadedResponse); err != nil {
+				return
+			}
+			if err := w.flush(); err != nil {
+				return
+			}
+			continue
 		}
 		switch kind {
 		case 'Q':
@@ -321,6 +392,7 @@ func (s *NetServer) handle(conn net.Conn) {
 		default:
 			err = s.writeError(w, fmt.Errorf("server: unsupported request kind %q", kind))
 		}
+		s.adm.release()
 		if err != nil {
 			return // write-side failure; the conn is done
 		}
@@ -332,13 +404,17 @@ func (s *NetServer) handle(conn net.Conn) {
 	}
 }
 
+// errOverloadedResponse is the shed response's payload; the code byte
+// is what clients dispatch on, the text is for humans.
+var errOverloadedResponse = errors.New("server: overloaded, retry with backoff")
+
 // serveQuery answers one 'Q' frame. Protocol errors (bad range) are
 // reported to the peer as 'E' responses; only transport errors are
 // returned.
 func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
 	lo, hi, err := wire.DecodeQueryReq(frame)
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
 	}
 	sv, err := s.qs.Serve(lo, hi)
 	if err != nil {
@@ -373,7 +449,7 @@ func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
 func (s *NetServer) serveSummaries(w *connWriter, frame []byte) error {
 	since, err := wire.DecodeSummariesReq(frame)
 	if err != nil {
-		return s.writeError(w, err)
+		return s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
 	}
 	sums := s.qs.SummariesSince(since)
 	max := s.cfg.MaxSummaries
@@ -392,11 +468,16 @@ func (s *NetServer) serveSummaries(w *connWriter, frame []byte) error {
 	return werr
 }
 
-// writeError sends an 'E' response. The returned error is the
+// writeError sends a generic 'E' response. The returned error is the
 // transport's, not the one being reported.
 func (s *NetServer) writeError(w *connWriter, cause error) error {
+	return s.writeErrorCode(w, wire.ErrCodeGeneric, cause)
+}
+
+// writeErrorCode sends an 'E' response with a machine-readable code.
+func (s *NetServer) writeErrorCode(w *connWriter, code byte, cause error) error {
 	s.errs.Add(1)
-	buf := wire.AppendError(wire.GetBuffer(), cause.Error())
+	buf := wire.AppendErrorCode(wire.GetBuffer(), code, cause.Error())
 	werr := w.frame(buf)
 	wire.PutBuffer(buf)
 	return werr

@@ -23,6 +23,14 @@ func testScheme() sigagg.Scheme { return xortest.New() }
 // returns it with the listen address and a shutdown func.
 func newNetFixture(t *testing.T, n int, cfg NetConfig) (*core.System, []int64, string, func()) {
 	t.Helper()
+	sys, keys, addr, _, shutdown := newNetFixtureSrv(t, n, cfg)
+	return sys, keys, addr, shutdown
+}
+
+// newNetFixtureSrv is newNetFixture plus the server handle, for tests
+// that poke at internals (admission slots, counters).
+func newNetFixtureSrv(t *testing.T, n int, cfg NetConfig) (*core.System, []int64, string, *NetServer, func()) {
+	t.Helper()
 	sys, err := core.NewSystem(testScheme(), core.DefaultConfig(), core.WithShards(8))
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +51,7 @@ func newNetFixture(t *testing.T, n int, cfg NetConfig) (*core.System, []int64, s
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	return sys, keys, ln.Addr().String(), func() {
+	return sys, keys, ln.Addr().String(), srv, func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

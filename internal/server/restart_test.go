@@ -248,14 +248,18 @@ func TestNetRestartRollbackDetected(t *testing.T) {
 	addr2, stop2 := w.startServer(qs2)
 	defer stop2()
 
-	if err := cl.Reconnect(addr2); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := cl.SyncSummaries(0); !errors.Is(err, client.ErrDiverged) {
-		t.Fatalf("explicit sync against rolled-back server: err=%v, want ErrDiverged", err)
+	// Reconnect re-anchors the summary stream automatically, so the
+	// rollback is caught at reconnect time — before any query could be
+	// issued against the lying server.
+	if err := cl.Reconnect(addr2); !errors.Is(err, client.ErrDiverged) {
+		t.Fatalf("reconnect to rolled-back server: err=%v, want ErrDiverged", err)
 	}
 	if !errors.Is(client.ErrDiverged, client.ErrServer) {
 		t.Fatal("ErrDiverged must read as a server error")
+	}
+	// The session refuses to trust the new server on every path too.
+	if _, err := cl.SyncSummaries(0); !errors.Is(err, client.ErrDiverged) {
+		t.Fatalf("explicit sync against rolled-back server: err=%v, want ErrDiverged", err)
 	}
 	if _, _, err := cl.Query(10, 600); err == nil {
 		t.Fatal("query against rolled-back server verified silently")

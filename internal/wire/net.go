@@ -42,23 +42,44 @@ func WriteFrame(w io.Writer, payload []byte) error {
 // A connection closed cleanly between frames returns io.EOF; a close
 // mid-frame returns io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	n, err := ReadFrameHeader(r, max)
+	if err != nil {
+		return nil, err
+	}
+	return ReadFramePayload(r, buf, n)
+}
+
+// ReadFrameHeader reads and validates one frame's length prefix,
+// returning the payload size without allocating for it. Splitting the
+// header from the payload read lets a transport arm a payload-
+// completion deadline once bytes have started flowing — the idle wait
+// for a header and the bounded receipt of an announced payload are
+// different trust regimes (see server.NetConfig.ReadTimeout).
+func ReadFrameHeader(r io.Reader, max int) (int, error) {
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+			return 0, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
 		}
-		return nil, err
+		return 0, err
 	}
 	// Bounds-check in uint64 before any int conversion: on 32-bit
 	// platforms a hostile 2^31..2^32-1 length would wrap negative as an
 	// int and sail past both checks into a slicing panic.
 	if u := uint64(binary.BigEndian.Uint32(hdr[:])); u > uint64(max) {
-		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCorrupt, u, max)
+		return 0, fmt.Errorf("%w: frame of %d bytes exceeds limit %d", ErrCorrupt, u, max)
 	}
-	n := int(binary.BigEndian.Uint32(hdr[:]))
+	return int(binary.BigEndian.Uint32(hdr[:])), nil
+}
+
+// ReadFramePayload reads the n payload bytes a validated header
+// announced, reusing buf's storage when it is large enough. n must come
+// from ReadFrameHeader: allocation is bounded by the header check, so a
+// hostile length can never allocate past the configured cap.
+func ReadFramePayload(r io.Reader, buf []byte, n int) ([]byte, error) {
 	if cap(buf) < n {
 		buf = make([]byte, n)
 	}
@@ -180,27 +201,61 @@ func DecodeSummaries(data []byte) ([]freshness.Summary, error) {
 
 // ---- Error (server -> user) ----
 
-// AppendError appends an error response carrying msg.
+// Error codes carried in 'E' responses: a machine-readable byte ahead
+// of the human-readable message, so clients can choose a reaction
+// (back off, give up, report) without parsing prose.
+const (
+	// ErrCodeGeneric is a request-level failure (bad range, decode
+	// error): retrying the same request will fail the same way.
+	ErrCodeGeneric = byte(0)
+	// ErrCodeOverloaded is admission control shedding load: the request
+	// was rejected before any work, and a retry after backoff is the
+	// intended response (reject-fast beats queue collapse).
+	ErrCodeOverloaded = byte(1)
+	// ErrCodeBadFrame means the request frame or payload did not parse.
+	// A client that knows it sent a well-formed request may treat this
+	// as in-flight corruption and resend over a fresh connection.
+	ErrCodeBadFrame = byte(2)
+)
+
+// AppendError appends a generic error response carrying msg.
 func AppendError(buf []byte, msg string) []byte {
+	return AppendErrorCode(buf, ErrCodeGeneric, msg)
+}
+
+// AppendErrorCode appends an error response with an explicit code.
+func AppendErrorCode(buf []byte, code byte, msg string) []byte {
 	w := &writer{buf: buf}
 	w.u8(Version)
 	w.u8('E')
+	w.u8(code)
 	w.bytes([]byte(msg))
 	return w.buf
 }
 
-// DecodeError parses an error response into its message.
+// DecodeError parses an error response into its message, discarding
+// the code; callers that react to codes use DecodeErrorCode.
 func DecodeError(data []byte) (string, error) {
+	_, msg, err := DecodeErrorCode(data)
+	return msg, err
+}
+
+// DecodeErrorCode parses an error response into its code and message.
+func DecodeErrorCode(data []byte) (byte, string, error) {
 	r := &reader{buf: data}
 	if err := header(r, 'E'); err != nil {
-		return "", err
+		return 0, "", err
+	}
+	code, err := r.u8()
+	if err != nil {
+		return 0, "", err
 	}
 	msg, err := r.bytes()
 	if err != nil {
-		return "", err
+		return 0, "", err
 	}
 	if err := r.done(); err != nil {
-		return "", err
+		return 0, "", err
 	}
-	return string(msg), nil
+	return code, string(msg), nil
 }
