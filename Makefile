@@ -15,7 +15,7 @@ test:
 
 # Race-enabled pass over the concurrency-heavy packages.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal ./internal/faultnet
+	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal ./internal/faultnet ./internal/replica
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,12 @@ bench-net:
 # cycles, overload shedding; non-zero exit on any safety violation).
 bench-chaos:
 	$(GO) run ./cmd/authbench chaos -n 20000
+
+# Emit BENCH_fleet.json (untrusted replica fleet soak: snapshot
+# bootstrap, client failover, Byzantine replica detection; non-zero
+# exit unless every attack was detected and attributed).
+bench-fleet:
+	$(GO) run ./cmd/authbench fleet -n 20000
 
 # Run the networked serving daemon (Ctrl-C drains gracefully).
 serve:

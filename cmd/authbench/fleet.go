@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"authdb/internal/server"
+)
+
+// runFleet drives the untrusted-replica-fleet soak: a primary feeding
+// snapshot-bootstrapped followers over the replication protocol,
+// fleet-aware verifying clients failing over between them, an honest
+// replica killed / partitioned / held lagged per window, and a
+// deliberately Byzantine replica running the full attack menu
+// (signature flips, pre-update replays, forked summaries, state
+// rollback). RunFleetChaos fails hard unless every accepted answer
+// verified, every Byzantine attempt was detected and attributed to the
+// rogue replica, and clients kept making progress — so a zero exit is
+// the pass, and BENCH_fleet.json is the evidence.
+func runFleet(args []string) error {
+	fs := newFlags("fleet")
+	schemeName := fs.String("scheme", "xortest", "scheme (bas, crsa, xortest)")
+	n := fs.Int("n", 20_000, "relation size")
+	ranges := fs.Int("ranges", 256, "hot-range catalog size")
+	sf := fs.Float64("sf", 0.0005, "selectivity factor")
+	theta := fs.Float64("theta", 1.07, "zipf exponent (>1)")
+	clients := fs.Int("clients", 3, "fleet clients per window (plus one auditor)")
+	pipeline := fs.Int("pipeline", 4, "queries pipelined per batch")
+	replicas := fs.Int("replicas", 3, "honest follower replicas (>= 2; the Byzantine one is extra)")
+	windowMS := fs.Int("window", 1200, "timed fault window (ms)")
+	updEveryMS := fs.Float64("update-every", 2, "primary writer cadence (ms)")
+	sumEvery := fs.Int("summary-every", 20, "close a ρ-period every k updates")
+	seed := fs.Int64("seed", 1, "fault/workload seed")
+	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short windows")
+	check := fs.Bool("check", true, "full follower + primary verification sweeps at the end")
+	out := fs.String("out", "BENCH_fleet.json", "output JSON path (empty to skip)")
+	validate := fs.String("validate", "", "validate an existing BENCH_fleet.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *validate != "" {
+		return checkFleetJSON(*validate)
+	}
+
+	scheme, err := schemeFromFlag(*schemeName)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+
+	cfg := server.DefaultFleetConfig(scheme)
+	cfg.N = *n
+	cfg.Ranges = *ranges
+	cfg.SF = *sf
+	cfg.Theta = *theta
+	cfg.Clients = *clients
+	cfg.Pipeline = *pipeline
+	cfg.Replicas = *replicas
+	cfg.Window = time.Duration(*windowMS) * time.Millisecond
+	cfg.UpdateEvery = time.Duration(*updEveryMS * float64(time.Millisecond))
+	cfg.SummaryEvery = *sumEvery
+	cfg.Seed = *seed
+	cfg.Check = *check
+	if *short {
+		cfg.N = 4_000
+		cfg.Ranges = 128
+		cfg.Clients = 2
+		cfg.Window = 500 * time.Millisecond
+	}
+
+	rep, err := server.RunFleetChaos(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("fleet: wrote %s\n", *out)
+	}
+	return nil
+}
+
+// checkFleetJSON validates that a BENCH_fleet.json records a run whose
+// invariants actually held: verified goodput and an attributed
+// Byzantine detection in every window, zero misattributed blame, zero
+// accepted freshness violations, measurable replica lag, and the final
+// follower + primary sweeps.
+func checkFleetJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep server.FleetReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("fleet: %s is not valid JSON: %w", path, err)
+	}
+	if len(rep.Windows) == 0 {
+		return fmt.Errorf("fleet: %s: no windows ran", path)
+	}
+	if rep.TotalAccepted == 0 {
+		return fmt.Errorf("fleet: %s: zero verified goodput", path)
+	}
+	if !rep.AllAcceptedVerified {
+		return fmt.Errorf("fleet: %s: acceptance was not gated on verification", path)
+	}
+	if rep.FreshnessViolations != 0 {
+		return fmt.Errorf("fleet: %s: %d accepted freshness violations", path, rep.FreshnessViolations)
+	}
+	if rep.Misattributed != 0 {
+		return fmt.Errorf("fleet: %s: %d honest replicas were blamed", path, rep.Misattributed)
+	}
+	if rep.MaxReplicaLag == 0 {
+		return fmt.Errorf("fleet: %s: the held replica never showed lag", path)
+	}
+	if rep.BootstrapsServed < uint64(rep.Replicas) {
+		return fmt.Errorf("fleet: %s: only %d bootstrap images served for %d replicas", path, rep.BootstrapsServed, rep.Replicas)
+	}
+	if !rep.CorrectnessChecked || rep.SweepVerified == 0 || rep.FollowersVerified != rep.Replicas {
+		return fmt.Errorf("fleet: %s: final verification sweeps did not run to completion", path)
+	}
+	for _, win := range rep.Windows {
+		if win.Accepted == 0 {
+			return fmt.Errorf("fleet: %s: window %q accepted nothing", path, win.Name)
+		}
+		if win.ByzDetected == 0 {
+			return fmt.Errorf("fleet: %s: window %q never detected Byzantine mode %q", path, win.Name, win.ByzMode)
+		}
+		if win.Diverged != 0 {
+			return fmt.Errorf("fleet: %s: window %q: %d unattributed divergence events", path, win.Name, win.Diverged)
+		}
+	}
+	fmt.Printf("fleet: %s is well-formed (%d windows, %d accepted, %d Byzantine detections, %d followers verified)\n",
+		path, len(rep.Windows), rep.TotalAccepted, rep.TotalByzDetected, rep.FollowersVerified)
+	return nil
+}

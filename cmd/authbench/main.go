@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"serve", "answer cache + coalescing serving layer, cold vs cached (writes BENCH_serve.json)", runServe},
 	{"net", "networked serving: verifying clients over loopback TCP (writes BENCH_net.json)", runNet},
 	{"chaos", "hostile-network soak: faults, kills, overload shedding (writes BENCH_chaos.json)", runChaos},
+	{"fleet", "untrusted replica fleet soak: failover, Byzantine replica detection (writes BENCH_fleet.json)", runFleet},
 }
 
 func main() {

@@ -12,10 +12,22 @@
 // directory to its exact pre-crash state without re-contacting the
 // owner (see internal/wal and DESIGN.md "Durability & recovery").
 //
+// The serve mode also feeds replication: followers started with
+// `authserve follow -primary <addr>` bootstrap a full catalog image
+// off the primary (snapshot + WAL tail) and then mirror its update
+// stream, serving verifying clients themselves. Replication is an
+// availability mechanism only — a follower holds no keys, and clients
+// verify every answer against the owner's signatures no matter which
+// replica produced it (DESIGN.md "Replication & the untrusted fleet").
+// `authserve query -addr a,b,c` treats the comma-separated list as a
+// fleet: it fails over on faults and quarantines replicas caught
+// misbehaving.
+//
 // Usage:
 //
-//	authserve serve [flags]   run the server (default)
-//	authserve query [flags]   connect as a verifying client
+//	authserve serve [flags]    run the primary server (default)
+//	authserve follow [flags]   run a replica off a primary's feed
+//	authserve query [flags]    connect as a verifying client
 //
 // The demo derives the aggregator's key pair deterministically from
 // -keyseed so a remote `authserve query` with the same seed can verify
@@ -40,6 +52,7 @@ import (
 
 	"authdb/internal/client"
 	"authdb/internal/core"
+	"authdb/internal/replica"
 	"authdb/internal/server"
 	"authdb/internal/sigagg"
 	"authdb/internal/sigagg/bas"
@@ -59,10 +72,12 @@ func main() {
 	switch mode {
 	case "serve":
 		err = runServe(args)
+	case "follow":
+		err = runFollow(args)
 	case "query":
 		err = runQuery(args)
 	default:
-		fmt.Fprintf(os.Stderr, "usage: authserve [serve|query] [flags]\n")
+		fmt.Fprintf(os.Stderr, "usage: authserve [serve|follow|query] [flags]\n")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -133,6 +148,8 @@ func runServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "admission control: concurrent requests executing (0 = unlimited)")
 	maxPending := fs.Int("max-pending", 0, "admission control: requests queued beyond the in-flight cap before shedding (with -max-inflight)")
 	seed := fs.Int64("seed", 1, "relation generator seed")
+	statsAddr := fs.String("stats-addr", "", "serve Prometheus text metrics at this address (empty = off)")
+	repl := fs.Bool("repl", true, "serve the replication feed to `authserve follow` replicas")
 	dataDir := fs.String("data", "", "durable state directory (write-ahead log + snapshots; empty = in-memory only)")
 	snapEvery := fs.Int("snap-every", 2000, "background snapshot + log truncation every k logged messages (0 = initial snapshot only)")
 	groupCommit := fs.Duration("group-commit", 2*time.Millisecond, "WAL fsync batching window (0 = fsync every append)")
@@ -246,6 +263,41 @@ func runServe(args []string) error {
 	fmt.Printf("authserve: listening on %s (keys [%d,%d], %d shards)\n",
 		ln.Addr(), keys[0], keys[len(keys)-1], sys.QS.Shards())
 
+	var src *replica.Source
+	if *repl {
+		// Followers subscribe over the same listener ('R' frames); with a
+		// durable store they can catch up from the WAL tail, otherwise
+		// every (re)subscription costs a full bootstrap image.
+		var replLog *wal.Log
+		if store != nil {
+			replLog = store.Log()
+		}
+		src = replica.NewSource(sys.QS, replLog, replica.SourceConfig{
+			WriteTimeout: time.Duration(*writeSec) * time.Second,
+		})
+		srv.EnableReplication(src)
+		fmt.Printf("authserve: replication feed enabled (run: authserve follow -primary %s)\n", ln.Addr())
+	}
+	if *statsAddr != "" {
+		fns := []server.MetricFn{srv.Metrics}
+		if store != nil {
+			fns = append(fns, server.WalMetrics(store))
+		}
+		if src != nil {
+			fns = append(fns, sourceMetrics(src))
+		}
+		bound, stopStats, err := server.ServeMetrics(*statsAddr, fns...)
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			stopStats(ctx)
+		}()
+		fmt.Printf("authserve: metrics on http://%s/metrics\n", bound)
+	}
+
 	// Background writer: the trusted aggregator keeps updating hot
 	// records and closing ρ-periods, so remote clients see a live
 	// freshness stream. Timestamps are logical milliseconds since load
@@ -265,18 +317,21 @@ func runServe(args []string) error {
 		var snapBusy atomic.Bool
 		defer snapWG.Wait()
 		sinceSnap := int64(0)
-		logMsg := func(msg *core.UpdateMsg) error {
+		memLSN := uint64(0) // feed LSNs when there is no WAL to assign them
+		logMsg := func(msg *core.UpdateMsg) (uint64, error) {
 			if store == nil {
-				return nil
+				memLSN++
+				return memLSN, nil
 			}
-			if _, err := store.AppendMsg(msg); err != nil {
-				return err
+			lsn, err := store.AppendMsg(msg)
+			if err != nil {
+				return 0, err
 			}
 			sinceSnap++
 			if msg.Summary != nil {
-				return store.Sync()
+				return lsn, store.Sync()
 			}
-			return nil
+			return lsn, nil
 		}
 		gen := workload.NewUpdateGen(keys, *seed+7)
 		tick := time.NewTicker(time.Duration(*updEveryMS * float64(time.Millisecond)))
@@ -295,7 +350,8 @@ func runServe(args []string) error {
 			if err != nil {
 				continue // e.g. non-monotonic ts under a coarse clock; skip the beat
 			}
-			if err := logMsg(msg); err != nil {
+			lsn, err := logMsg(msg)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "authserve: wal append: %v\n", err)
 				return
 			}
@@ -303,16 +359,26 @@ func runServe(args []string) error {
 				fmt.Fprintf(os.Stderr, "authserve: apply: %v\n", err)
 				return
 			}
+			if src != nil {
+				// Publish strictly after apply: that ordering is what makes
+				// a bootstrap image captured at any instant consistent with
+				// the LSN it claims.
+				src.Publish(lsn, msg)
+			}
 			updates++
 			if *sumEvery > 0 && updates%int64(*sumEvery) == 0 {
 				if msg, err := sys.DA.ClosePeriod(ts + 1); err == nil {
-					if err := logMsg(msg); err != nil {
+					lsn, err := logMsg(msg)
+					if err != nil {
 						fmt.Fprintf(os.Stderr, "authserve: wal append: %v\n", err)
 						return
 					}
 					if err := sys.QS.Apply(msg); err != nil {
 						fmt.Fprintf(os.Stderr, "authserve: apply summary: %v\n", err)
 						return
+					}
+					if src != nil {
+						src.Publish(lsn, msg)
 					}
 				}
 			}
@@ -368,9 +434,164 @@ func runServe(args []string) error {
 	return nil
 }
 
+// sourceMetrics adapts the primary's replication-hub counters for a
+// scrape.
+func sourceMetrics(src *replica.Source) server.MetricFn {
+	return func(m *server.MetricsBuf) {
+		st := src.Stats()
+		m.Gauge("authdb_repl_streams_active", "Follower streams currently attached.", float64(st.Active))
+		m.Counter("authdb_repl_streams_total", "Follower streams ever started.", st.Streams)
+		m.Counter("authdb_repl_bootstraps_total", "Full catalog images served to followers.", st.Bootstraps)
+		m.Counter("authdb_repl_fanout_total", "Replicated records fanned out across all followers.", st.Fanout)
+		m.Gauge("authdb_repl_last_lsn", "Last LSN published on the feed.", float64(src.LastLSN()))
+	}
+}
+
+// followerMetrics adapts a replica's feed counters for a scrape. Lag
+// is the headline: how many dissemination messages this replica is
+// behind the primary as of the last feed frame.
+func followerMetrics(fl *replica.Follower) server.MetricFn {
+	return func(m *server.MetricsBuf) {
+		st := fl.Stats()
+		m.Gauge("authdb_replica_applied_lsn", "Last dissemination message applied from the feed.", float64(st.AppliedLSN))
+		m.Gauge("authdb_replica_primary_lsn", "Primary's LSN as last observed on the feed.", float64(st.PrimaryLSN))
+		m.Gauge("authdb_replica_lag", "Dissemination messages behind the primary.", float64(st.Lag))
+		m.Counter("authdb_replica_bootstraps_total", "Full catalog images installed.", st.Bootstraps)
+		m.Counter("authdb_replica_records_total", "Replicated records applied.", st.Records)
+		m.Counter("authdb_replica_reconnects_total", "Feed sessions re-established.", st.Reconnects)
+	}
+}
+
+// runFollow runs an untrusted replica: it bootstraps a catalog image
+// from a primary's replication feed, keeps mirroring its update
+// stream, and serves verifying clients exactly as the primary does.
+// The follower holds no signing keys and verifies nothing it applies —
+// replication buys availability only, and every client independently
+// verifies authenticity, completeness, and freshness against the
+// owner's public key regardless of which replica answered.
+func runFollow(args []string) error {
+	fs := flag.NewFlagSet("follow", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7855", "listen address for verifying clients")
+	primary := fs.String("primary", "127.0.0.1:7845", "primary server address (replication feed)")
+	schemeName := fs.String("scheme", "bas", "scheme (must match the primary)")
+	keyseed := fs.String("keyseed", "demo", "deterministic demo key seed (must match the primary)")
+	shards := fs.Int("shards", 64, "QueryServer key-range shards")
+	cacheMB := fs.Int64("cache-mb", 64, "answer-cache budget (MiB; 0 = uncached)")
+	maxConns := fs.Int("max-conns", 1024, "concurrent connection cap (0 = unlimited)")
+	idleSec := fs.Int("idle-timeout", 300, "drop connections idle for this many seconds (0 = never)")
+	readSec := fs.Int("read-timeout", 30, "stalled-peer read cutoff (seconds; 0 = never)")
+	writeSec := fs.Int("write-timeout", 30, "stalled-peer write cutoff (seconds; 0 = never)")
+	feedSec := fs.Int("feed-timeout", 10, "redial the primary when the feed stalls this long (seconds)")
+	statsAddr := fs.String("stats-addr", "", "serve Prometheus text metrics at this address (empty = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scheme, err := schemeByName(*schemeName)
+	if err != nil {
+		return err
+	}
+	// Same demo key derivation as query: the replica never signs, but
+	// its QueryServer builds aggregation structures under the bound
+	// scheme so answers carry the exact proofs clients expect.
+	_, pub, err := scheme.KeyGen(newDetRand(*keyseed + ":" + *schemeName))
+	if err != nil {
+		return err
+	}
+	bound, err := sigagg.Bind(scheme, pub)
+	if err != nil {
+		return err
+	}
+	fl, err := replica.NewFollower(replica.FollowerConfig{
+		Scheme:      bound,
+		QSOpts:      []core.Option{core.WithShards(*shards)},
+		ReadTimeout: time.Duration(*feedSec) * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if *cacheMB > 0 {
+		// Safe on a replica: cache entries are stamped with the catalog
+		// version, and both Apply and bootstrap Restore advance it.
+		if err := server.EnableCache(fl.QS(), *cacheMB<<20); err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		fl.Run(ctx, *primary)
+	}()
+
+	srv := server.NewNetServer(fl.QS(), server.NetConfig{
+		MaxConns:     *maxConns,
+		IdleTimeout:  time.Duration(*idleSec) * time.Second,
+		ReadTimeout:  time.Duration(*readSec) * time.Second,
+		WriteTimeout: time.Duration(*writeSec) * time.Second,
+	})
+	ln, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	if *statsAddr != "" {
+		bound, stopStats, err := server.ServeMetrics(*statsAddr, srv.Metrics, followerMetrics(fl))
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer scancel()
+			stopStats(sctx)
+		}()
+		fmt.Printf("authserve follow: metrics on http://%s/metrics\n", bound)
+	}
+	fmt.Printf("authserve follow: listening on %s, replicating from %s\n", ln.Addr(), *primary)
+
+	// Wait (bounded) for the bootstrap image so the ready line means
+	// "serving a catalog", then serve until signalled. The listener is
+	// live throughout either way; early clients just see an empty
+	// catalog error and retry.
+	for i := 0; i < 300 && fl.AppliedLSN() == 0; i++ {
+		time.Sleep(100 * time.Millisecond)
+	}
+	if st := fl.Stats(); st.Bootstraps > 0 || st.AppliedLSN > 0 {
+		fmt.Printf("authserve follow: bootstrapped at lsn %d (lag %d)\n", fl.AppliedLSN(), fl.Lag())
+	} else {
+		fmt.Fprintf(os.Stderr, "authserve follow: primary %s not reachable yet; still retrying\n", *primary)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("authserve follow: %v: draining...\n", s)
+	case err := <-serveErr:
+		cancel()
+		<-runDone
+		return err
+	}
+	cancel()
+	<-runDone
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(os.Stderr, "authserve follow: forced shutdown: %v\n", err)
+	}
+	<-serveErr
+	st, fst := srv.Stats(), fl.Stats()
+	fmt.Printf("authserve follow: served %d queries, %d summary fetches across %d conns; applied %d records, %d bootstraps, %d reconnects, final lag %d\n",
+		st.Queries, st.Summaries, st.Conns, fst.Records, fst.Bootstraps, fst.Reconnects, fst.Lag)
+	return nil
+}
+
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7845", "server address")
+	addr := fs.String("addr", "127.0.0.1:7845", "server address(es); comma-separate a replica fleet to fail over across")
 	schemeName := fs.String("scheme", "bas", "scheme (must match the server)")
 	keyseed := fs.String("keyseed", "demo", "deterministic demo key seed (must match the server)")
 	lo := fs.Int64("lo", 0, "range low key")
@@ -395,7 +616,16 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	cl, err := client.Dial(*addr, client.Config{
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	// A one-element fleet behaves exactly like a plain Dial; with more,
+	// the client fails over on faults and quarantines any replica whose
+	// answers fail verification.
+	cl, err := client.DialFleet(addrs, client.Config{
 		Scheme:         bound,
 		Pub:            pub,
 		DialTimeout:    5 * time.Second,
@@ -411,7 +641,7 @@ func runQuery(args []string) error {
 	if err != nil {
 		return fmt.Errorf("summary log-in sync: %w", err)
 	}
-	fmt.Printf("authserve query: synced %d certified summaries from %s\n", ingested, *addr)
+	fmt.Printf("authserve query: synced %d certified summaries from %s\n", ingested, cl.CurrentAddr())
 	ranges := make([]core.Range, *count)
 	for i := range ranges {
 		ranges[i] = core.Range{Lo: *lo, Hi: *hi}
@@ -433,6 +663,13 @@ func runQuery(args []string) error {
 	st := cl.Stats()
 	fmt.Printf("authserve query: %d answers verified in %v (%d bytes in, %d summaries held)\n",
 		st.Verified, rtt, st.BytesIn, cl.SummaryCount())
+	if len(addrs) > 1 {
+		fmt.Printf("authserve query: fleet of %d, finished on %s (%d failovers, %d quarantined)\n",
+			len(addrs), cl.CurrentAddr(), st.Failovers, st.Quarantines)
+		for a, cause := range cl.Quarantined() {
+			fmt.Printf("authserve query: QUARANTINED %s: %v\n", a, cause)
+		}
+	}
 	return nil
 }
 

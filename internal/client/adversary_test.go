@@ -1,0 +1,309 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+	"authdb/internal/wire"
+)
+
+// tamperMode selects the adversary's behavior.
+type tamperMode int
+
+const (
+	tamperNone    tamperMode = iota
+	tamperSigFlip            // flip the answer's aggregate signature
+	tamperRowSwap            // reorder the answer's records
+	tamperReplay             // re-serve captured pre-update responses
+)
+
+// tamperSrv is a Byzantine replica front: a frame-aware
+// man-in-the-middle that decodes real responses from an honest
+// upstream, mutates them per mode, and re-encodes — so everything it
+// sends is syntactically perfect protocol and only the cryptography
+// can catch it. In replay mode it answers from responses captured
+// before an update, without consulting the upstream at all (the
+// paper's stale-publisher attack).
+type tamperSrv struct {
+	ln       net.Listener
+	upstream string
+
+	mu     sync.Mutex
+	mode   tamperMode
+	cached map[byte][]byte // first captured response per request kind
+}
+
+func newTamperSrv(t *testing.T, upstream string) *tamperSrv {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &tamperSrv{ln: ln, upstream: upstream, cached: make(map[byte][]byte)}
+	go ts.acceptLoop()
+	t.Cleanup(func() { ln.Close() })
+	return ts
+}
+
+func (ts *tamperSrv) Addr() string { return ts.ln.Addr().String() }
+
+func (ts *tamperSrv) SetMode(m tamperMode) {
+	ts.mu.Lock()
+	ts.mode = m
+	ts.mu.Unlock()
+}
+
+func (ts *tamperSrv) acceptLoop() {
+	for {
+		down, err := ts.ln.Accept()
+		if err != nil {
+			return
+		}
+		go ts.serve(down)
+	}
+}
+
+// serve relays one downstream session in request/response lock-step.
+func (ts *tamperSrv) serve(down net.Conn) {
+	defer down.Close()
+	up, err := net.Dial("tcp", ts.upstream)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	var req, resp []byte
+	for {
+		if req, err = wire.ReadFrame(down, req, 0); err != nil {
+			return
+		}
+		reqKind, err := wire.Kind(req)
+		if err != nil {
+			return
+		}
+		ts.mu.Lock()
+		mode := ts.mode
+		replayed := ts.cached[reqKind]
+		ts.mu.Unlock()
+		if mode == tamperReplay && replayed != nil {
+			// Pure replay: the upstream is never asked; the client gets
+			// yesterday's truth, faithfully signed.
+			if err := wire.WriteFrame(down, replayed); err != nil {
+				return
+			}
+			continue
+		}
+		if err := wire.WriteFrame(up, req); err != nil {
+			return
+		}
+		if resp, err = wire.ReadFrame(up, resp, 0); err != nil {
+			return
+		}
+		ts.mu.Lock()
+		if _, dup := ts.cached[reqKind]; !dup {
+			ts.cached[reqKind] = append([]byte(nil), resp...)
+		}
+		ts.mu.Unlock()
+		out := ts.mutate(mode, resp)
+		if err := wire.WriteFrame(down, out); err != nil {
+			return
+		}
+	}
+}
+
+// mutate applies the mode's forgery to one response frame.
+func (ts *tamperSrv) mutate(mode tamperMode, frame []byte) []byte {
+	kind, err := wire.Kind(frame)
+	if err != nil || kind != 'A' {
+		return frame
+	}
+	switch mode {
+	case tamperSigFlip, tamperRowSwap:
+		ans, err := wire.DecodeAnswer(frame)
+		if err != nil {
+			return frame
+		}
+		if mode == tamperSigFlip {
+			if len(ans.Chain.Agg) == 0 {
+				return frame
+			}
+			ans.Chain.Agg[0] ^= 0x01
+		} else {
+			if len(ans.Chain.Records) < 2 {
+				return frame
+			}
+			r := ans.Chain.Records
+			r[0], r[1] = r[1], r[0]
+		}
+		out, err := wire.AppendAnswer(nil, ans)
+		if err != nil {
+			return frame
+		}
+		return out
+	default:
+		return frame
+	}
+}
+
+// advance publishes one update to the queried range plus a certified
+// period close, so replayed answers become provably stale.
+func advance(t *testing.T, sys *core.System, key int64, ts int64) {
+	t.Helper()
+	msg, err := sys.DA.Update(key, [][]byte{[]byte("post-capture")}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sys.DA.ClosePeriod(ts + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(sum); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversarySigFlipNeverAccepted: a replica that bit-flips the
+// aggregate signature — everything else intact — fails verification,
+// and the flip is recognized as replica misbehavior, not transport
+// noise that retries could wave through.
+func TestAdversarySigFlipNeverAccepted(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	ts := newTamperSrv(t, addr)
+	ts.SetMode(tamperSigFlip)
+	cl, err := client.Dial(ts.Addr(), client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, _, err = cl.Query(keys[5], keys[40])
+	if err == nil {
+		t.Fatal("forged signature accepted")
+	}
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("sig flip surfaced as %v, want sigagg.ErrVerify", err)
+	}
+	if st := cl.Stats(); st.Verified != 0 {
+		t.Fatalf("%d answers verified against a forging replica", st.Verified)
+	}
+}
+
+// TestAdversaryRowSwapNeverAccepted: reordering two records — a
+// completeness attack leaving every byte individually authentic —
+// breaks the chained digests.
+func TestAdversaryRowSwapNeverAccepted(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	ts := newTamperSrv(t, addr)
+	ts.SetMode(tamperRowSwap)
+	cl, err := client.Dial(ts.Addr(), client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, _, err = cl.Query(keys[5], keys[40])
+	if err == nil {
+		t.Fatal("reordered answer accepted")
+	}
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("row swap surfaced as %v, want sigagg.ErrVerify", err)
+	}
+}
+
+// TestAdversaryStaleReplayDetected: a replica that re-serves
+// pre-update cached answers — perfectly signed, just old — is caught
+// by the freshness machinery: the session's held summaries prove a
+// newer version of the answered records exists.
+func TestAdversaryStaleReplayDetected(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	// One closed period so the capture-phase answer carries summaries.
+	sum, err := sys.DA.ClosePeriod(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(sum); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTamperSrv(t, addr)
+	cl, err := client.Dial(ts.Addr(), client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Capture phase: honest pass-through; the adversary records the
+	// response.
+	if _, _, err := cl.Query(keys[5], keys[40]); err != nil {
+		t.Fatal(err)
+	}
+	// The world moves on: a record in the range changes, a new period
+	// certifies it, and the session learns the new summary.
+	advance(t, sys, keys[10], 3)
+	if _, err := cl.SyncSummaries(0); err != nil {
+		t.Fatal(err)
+	}
+	// Replay phase: the adversary serves the pre-update answer.
+	ts.SetMode(tamperReplay)
+	_, _, err = cl.Query(keys[5], keys[40])
+	if err == nil {
+		t.Fatal("replayed pre-update answer accepted as fresh")
+	}
+	if !errors.Is(err, freshness.ErrStale) {
+		t.Fatalf("stale replay surfaced as %v, want freshness.ErrStale", err)
+	}
+}
+
+// TestAdversaryReplayedSummariesDetected: replaying the summary stream
+// itself (stale 'F' responses) cannot hide an update from a session
+// that already holds the newer summary — ingestion only moves forward,
+// so the replay is inert and the stale answers it accompanies still
+// trip ErrStale.
+func TestAdversaryReplayedSummariesDetected(t *testing.T) {
+	sys, keys, addr := fixture(t, 200)
+	sum, err := sys.DA.ClosePeriod(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.QS.Apply(sum); err != nil {
+		t.Fatal(err)
+	}
+	ts := newTamperSrv(t, addr)
+	cl, err := client.Dial(ts.Addr(), client.Config{Scheme: sys.Scheme, Pub: sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Capture an 'F' page and an 'A' answer pre-update.
+	if _, err := cl.SyncSummaries(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Query(keys[5], keys[40]); err != nil {
+		t.Fatal(err)
+	}
+	held := cl.SummaryCount()
+	advance(t, sys, keys[10], 3)
+	if _, err := cl.SyncSummaries(0); err != nil {
+		t.Fatal(err)
+	}
+	if cl.SummaryCount() <= held {
+		t.Fatal("fixture: session never learned the post-update summary")
+	}
+	ts.SetMode(tamperReplay)
+	// The replayed 'F' page is the pre-update stream: already held,
+	// ingesting it again is a no-op — the anchor never rolls back.
+	if _, err := cl.SyncSummaries(0); err != nil {
+		t.Fatalf("replayed old summaries must be inert, got %v", err)
+	}
+	if cl.SummaryCount() != held+1 {
+		t.Fatalf("summary count moved under replay: %d", cl.SummaryCount())
+	}
+	// And the replayed stale answer is still caught.
+	if _, _, err := cl.Query(keys[5], keys[40]); !errors.Is(err, freshness.ErrStale) {
+		t.Fatalf("stale replay surfaced as %v, want freshness.ErrStale", err)
+	}
+}

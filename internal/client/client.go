@@ -73,9 +73,11 @@ type Stats struct {
 	Verified   uint64 // answers that passed full verification
 	Summaries  uint64 // certified summaries ingested
 	BytesIn    uint64 // response payload bytes received
-	Retries    uint64 // operations resent after a retryable failure
-	Reconnects uint64 // connections re-established
-	Shed       uint64 // operations rejected by server overload shedding
+	Retries     uint64 // operations resent after a retryable failure
+	Reconnects  uint64 // connections re-established
+	Shed        uint64 // operations rejected by server overload shedding
+	Failovers   uint64 // reconnects that switched to a different replica
+	Quarantines uint64 // replicas condemned for tampered/diverged state
 }
 
 // Client is one verifying session against a networked query server.
@@ -93,6 +95,11 @@ type Client struct {
 	rng      *rand.Rand
 	sleep    func(time.Duration) // indirection for deterministic tests
 	stats    Stats
+
+	// Fleet state (see fleet.go); empty for a single-server session.
+	addrs []string         // the replica set, in failover order
+	cur   int              // index of the replica currently connected
+	quar  map[string]error // quarantined replicas and their evidence
 }
 
 // Dial connects to a query server at addr.
@@ -152,20 +159,42 @@ func (c *Client) Close() error {
 func (c *Client) Reconnect(addr string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// An explicit Reconnect is the user overriding the fleet machinery:
+	// it targets exactly addr, quarantine or not (re-admitting a replica
+	// after an operator repaired it is precisely this call's job in a
+	// fleet session — the divergence check still guards the re-entry).
+	for i, a := range c.addrs {
+		if a == addr {
+			c.cur = i
+			delete(c.quar, addr)
+		}
+	}
 	c.addr = addr
-	if err := c.redial(); err != nil {
+	if err := c.redialTo(addr); err != nil {
 		return err
 	}
 	return c.reanchor()
 }
 
-// redial re-establishes the transport to c.addr.
+// redial re-establishes a transport: to the configured server, or —
+// for a fleet session — to the first usable replica, failing over past
+// dead ones.
 func (c *Client) redial() error {
 	c.conn.Close() // best effort; the old conn is usually already dead
-	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
-	if err != nil {
-		return fmt.Errorf("client: reconnect %s: %w", c.addr, err)
+	if len(c.addrs) > 0 {
+		return c.redialFleet()
 	}
+	return c.redialTo(c.addr)
+}
+
+// redialTo re-establishes the transport to one specific address.
+func (c *Client) redialTo(addr string) error {
+	c.conn.Close()
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("client: reconnect %s: %w", addr, err)
+	}
+	c.addr = addr
 	c.conn = conn
 	c.resetBuffers()
 	c.stats.Reconnects++
@@ -206,8 +235,18 @@ func (c *Client) SummaryCount() int {
 // transport faults back off, reconnect (which re-anchors the summary
 // stream), and resend; everything else — verification failures,
 // divergence, semantic server errors — is surfaced immediately.
+//
+// A fleet session additionally fails over: any reconnect-class fault
+// or overload shed moves the cursor to the next replica before
+// redialing, and quarantinable evidence (divergence, tampered bytes)
+// condemns the replica first — including divergence discovered by the
+// re-anchor itself, which for a standalone session remains fatal.
 func (c *Client) withRetry(op func() error) error {
 	attempts := c.cfg.Retry.attempts()
+	var start time.Time
+	if c.cfg.Retry.MaxElapsed > 0 {
+		start = time.Now()
+	}
 	reconnect := false
 	var err error
 	for attempt := 1; ; attempt++ {
@@ -215,10 +254,7 @@ func (c *Client) withRetry(op func() error) error {
 			if rerr := c.redial(); rerr != nil {
 				err = rerr
 			} else if rerr := c.reanchor(); rerr != nil {
-				if errors.Is(rerr, ErrDiverged) {
-					return rerr // never retried away
-				}
-				err = rerr
+				err = rerr // classified below; ErrDiverged stays fatal
 			} else {
 				reconnect = false
 			}
@@ -232,19 +268,51 @@ func (c *Client) withRetry(op func() error) error {
 		if errors.Is(err, ErrOverloaded) {
 			c.stats.Shed++
 		}
+		if errors.Is(err, ErrAllQuarantined) {
+			return err // no server left to retry against
+		}
 		if attempt >= attempts {
 			return err
 		}
 		switch classify(err) {
 		case rcFatal:
-			return err
+			if !(c.fleet() && quarantinable(err)) {
+				return err
+			}
+			c.quarantineCur(err)
+			c.conn.Close()
+			reconnect = true
 		case rcReconnect:
+			if c.fleet() {
+				if quarantinable(err) {
+					c.quarantineCur(err)
+				}
+				c.advance()
+			}
 			reconnect = true
 			c.conn.Close() // wake anything stuck and force a fresh dial
 		case rcBackoff:
+			if c.fleet() {
+				// The replica is healthy but saturated; a fleet session
+				// spends the backoff switching servers instead of waiting
+				// in this one's queue.
+				c.advance()
+				c.conn.Close()
+				reconnect = true
+			}
 		}
 		c.stats.Retries++
-		c.sleep(c.cfg.Retry.delay(attempt, c.rng))
+		d := c.cfg.Retry.delay(attempt, c.rng)
+		if me := c.cfg.Retry.MaxElapsed; me > 0 {
+			remaining := me - time.Since(start)
+			if remaining <= 0 {
+				return err
+			}
+			if d > remaining {
+				d = remaining // one final attempt at the budget's edge
+			}
+		}
+		c.sleep(d)
 	}
 }
 
@@ -571,19 +639,43 @@ func (c *Client) Query(lo, hi int64) (*core.Answer, *core.FreshnessReport, error
 
 // QueryBatch pipelines the queries and batch-verifies all answers in
 // one pass. The fetch retries under the session policy; verification of
-// the delivered bytes runs exactly once.
+// each attempt's delivered bytes runs exactly once.
+//
+// A fleet session adds the verify-stage failover: when verification
+// convicts the connected replica of tampering or divergence (evidence
+// transport retries never see, because the fetch succeeded), the
+// replica is quarantined and the batch re-fetched — and re-verified —
+// through the next one, at most once per replica in the set. A
+// freshness miss (ErrStale) is not misbehavior and is surfaced to the
+// caller, who re-queries; with a lagging replica, failing over by hand
+// (Reconnect) or waiting are both sound, because staleness is bounded
+// by the summaries this session already holds, not by anything the
+// replica says.
 func (c *Client) QueryBatch(ranges []core.Range) ([]*core.Answer, []*core.FreshnessReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	answers, err := c.fetchBatchRetry(ranges)
-	if err != nil {
-		return nil, nil, err
+	hops := 1
+	if c.fleet() {
+		hops = len(c.addrs)
 	}
-	reports, err := c.verify(answers, ranges)
-	if err != nil {
-		return nil, nil, err
+	var lastErr error
+	for hop := 0; hop < hops; hop++ {
+		answers, err := c.fetchBatchRetry(ranges)
+		if err == nil {
+			var reports []*core.FreshnessReport
+			if reports, err = c.verify(answers, ranges); err == nil {
+				return answers, reports, nil
+			}
+		}
+		if !c.fleet() || !quarantinable(err) {
+			return nil, nil, err
+		}
+		lastErr = err
+		if herr := c.hopReplica(err); herr != nil {
+			return nil, nil, fmt.Errorf("%w (dropping replica for: %v)", herr, err)
+		}
 	}
-	return answers, reports, nil
+	return nil, nil, lastErr
 }
 
 // SyncSummaries fetches the certified summaries published at or after

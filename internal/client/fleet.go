@@ -1,0 +1,171 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"authdb/internal/sigagg"
+	"authdb/internal/wire"
+)
+
+// Replica fleets. A session dialed with DialFleet knows the whole
+// replica set and treats every member as interchangeable — and equally
+// untrusted. Transport faults and overload sheds fail the session over
+// to the next replica (each switch re-anchoring the certified summary
+// stream, so no replica can slip the session a rolled-back view), while
+// cryptographic evidence of misbehavior — tampered frames, forged
+// signatures, a forked summary stream — quarantines the replica for the
+// rest of the session. Quarantine is an availability decision, not a
+// trust decision: a Byzantine replica was never trusted in the first
+// place, the session just stops wasting round trips on it.
+
+// ErrAllQuarantined reports that every replica in the set has been
+// quarantined for serving tampered or diverged state. The session is
+// out of servers it is willing to talk to; a fresh session (and an
+// operator look at the fleet) is the only way forward.
+var ErrAllQuarantined = errors.New("client: every replica in the set is quarantined")
+
+// DialFleet connects to the first reachable replica of the set. The
+// session remembers the whole set and fails over between its members;
+// verification is identical to a single-server session — replicas hold
+// no keys and their answers carry the owner's signatures, so switching
+// servers never widens what the session accepts.
+func DialFleet(addrs []string, cfg Config) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: empty replica set")
+	}
+	var lastErr error
+	for i, addr := range addrs {
+		c, err := Dial(addr, cfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.addrs = append([]string(nil), addrs...)
+		c.cur = i
+		return c, nil
+	}
+	return nil, lastErr
+}
+
+// fleet reports whether the session has anywhere to fail over to.
+func (c *Client) fleet() bool { return len(c.addrs) > 1 }
+
+// CurrentAddr reports which server the session is connected to — with
+// a fleet, the replica that served (and gets attributed) the most
+// recent responses.
+func (c *Client) CurrentAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// Quarantined snapshots the session's quarantine list: replica address
+// to the evidence that condemned it.
+func (c *Client) Quarantined() map[string]error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]error, len(c.quar))
+	for a, e := range c.quar {
+		out[a] = e
+	}
+	return out
+}
+
+// quarantinable reports whether err is evidence of replica misbehavior
+// — something an honest server cannot send — rather than a fault of
+// the path to it. Divergence is authenticated rollback/fork evidence;
+// corrupt frames and verification failures mean the bytes themselves
+// were wrong.
+func quarantinable(err error) bool {
+	return errors.Is(err, ErrDiverged) ||
+		errors.Is(err, wire.ErrCorrupt) ||
+		errors.Is(err, sigagg.ErrVerify)
+}
+
+// quarantineCur condemns the currently-connected replica for the
+// session. Callers hold c.mu.
+func (c *Client) quarantineCur(cause error) {
+	if len(c.addrs) == 0 {
+		return
+	}
+	if _, dup := c.quar[c.addr]; dup {
+		return
+	}
+	if c.quar == nil {
+		c.quar = make(map[string]error)
+	}
+	c.quar[c.addr] = cause
+	c.stats.Quarantines++
+}
+
+// advance moves the failover cursor to the next non-quarantined
+// replica (a no-op when there is none). Callers hold c.mu.
+func (c *Client) advance() {
+	n := len(c.addrs)
+	for i := 1; i <= n; i++ {
+		idx := (c.cur + i) % n
+		if _, bad := c.quar[c.addrs[idx]]; !bad {
+			c.cur = idx
+			return
+		}
+	}
+}
+
+// redialFleet connects to the first usable replica at or after the
+// cursor, skipping quarantined members. Callers hold c.mu.
+func (c *Client) redialFleet() error {
+	n := len(c.addrs)
+	var lastErr error
+	tried := 0
+	for i := 0; i < n; i++ {
+		idx := (c.cur + i) % n
+		addr := c.addrs[idx]
+		if _, bad := c.quar[addr]; bad {
+			continue
+		}
+		tried++
+		conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+		if err != nil {
+			lastErr = fmt.Errorf("client: reconnect %s: %w", addr, err)
+			continue
+		}
+		c.cur = idx
+		if addr != c.addr {
+			c.stats.Failovers++
+		}
+		c.addr = addr
+		c.conn = conn
+		c.resetBuffers()
+		c.stats.Reconnects++
+		return nil
+	}
+	if tried == 0 {
+		return ErrAllQuarantined
+	}
+	return lastErr
+}
+
+// hopReplica condemns the current replica for cause and re-anchors the
+// session through the next usable one — the verify-stage failover: the
+// fetch succeeded, but what arrived was tampered or forked, so the
+// transport-level retry machinery never saw an error. Callers hold
+// c.mu. The loop terminates because every quarantinable re-anchor
+// failure condemns another replica and the set is finite.
+func (c *Client) hopReplica(cause error) error {
+	c.quarantineCur(cause)
+	for {
+		if err := c.redial(); err != nil {
+			return err
+		}
+		if err := c.reanchor(); err != nil {
+			if quarantinable(err) {
+				c.quarantineCur(err)
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+}

@@ -24,6 +24,14 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the exponential growth (0 = 1s).
 	MaxDelay time.Duration
+	// MaxElapsed bounds the total time one operation may spend across
+	// all attempts, backoff sleeps included (0 = no budget). A backoff
+	// that would overrun the budget is truncated to the remainder, the
+	// operation gets one final attempt, and then the last error is
+	// surfaced even if MaxAttempts remain — callers with deadlines
+	// bound their worst case in time, not in attempt counts whose
+	// durations they cannot predict.
+	MaxElapsed time.Duration
 	// Jitter randomizes each delay by ±Jitter fraction so a fleet of
 	// backed-off clients does not stampede in lockstep (0 = 0.2; use a
 	// negative value for none).

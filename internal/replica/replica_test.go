@@ -1,0 +1,328 @@
+package replica_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/replica"
+	"authdb/internal/server"
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/wal"
+	"authdb/internal/workload"
+)
+
+// primaryFixture is a loaded primary serving both queries and the
+// replication feed, with a single-writer publish helper that keeps the
+// WAL (optional), QueryServer, and Source in the required
+// append → apply → publish order.
+type primaryFixture struct {
+	sys     *core.System
+	store   *wal.Store
+	src     *replica.Source
+	srv     *server.NetServer
+	addr    string
+	ts      int64
+	nextLSN uint64
+	keys    []int64
+}
+
+func newPrimary(t *testing.T, n int, withLog bool) (*primaryFixture, func()) {
+	t.Helper()
+	sys, err := core.NewSystem(xortest.New(), core.DefaultConfig(), core.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &primaryFixture{sys: sys, ts: 1}
+	if withLog {
+		store, err := wal.Open(t.TempDir(), wal.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.store = store
+	}
+	var log *wal.Log
+	if f.store != nil {
+		log = f.store.Log()
+	}
+	f.src = replica.NewSource(sys.QS, log, replica.SourceConfig{Heartbeat: 20 * time.Millisecond})
+
+	recs := workload.Records(workload.Config{N: n, RecLen: 32, Seed: 7})
+	f.keys = workload.Keys(recs)
+	msg, err := sys.DA.Load(recs, f.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.publish(t, msg)
+
+	f.srv = server.NewNetServer(sys.QS, server.NetConfig{})
+	f.srv.EnableReplication(f.src)
+	ln, err := f.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- f.srv.Serve(ln) }()
+	f.addr = ln.Addr().String()
+	return f, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := f.srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveErr; !errors.Is(err, server.ErrServerClosed) {
+			t.Errorf("serve returned %v", err)
+		}
+		if f.store != nil {
+			f.store.Close()
+		}
+	}
+}
+
+// publish routes one dissemination message through the fixture's
+// single-writer pipeline.
+func (f *primaryFixture) publish(t *testing.T, msg *core.UpdateMsg) {
+	t.Helper()
+	var lsn uint64
+	if f.store != nil {
+		var err error
+		if lsn, err = f.store.AppendMsg(msg); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		f.nextLSN++
+		lsn = f.nextLSN
+	}
+	if err := f.sys.QS.Apply(msg); err != nil {
+		t.Fatal(err)
+	}
+	f.src.Publish(lsn, msg)
+}
+
+// update mutates one key and closes a ρ-period, publishing both.
+func (f *primaryFixture) update(t *testing.T, key int64) {
+	t.Helper()
+	f.ts++
+	msg, err := f.sys.DA.Update(key, [][]byte{[]byte(fmt.Sprintf("u-%d", f.ts))}, f.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.publish(t, msg)
+	f.ts++
+	sum, err := f.sys.DA.ClosePeriod(f.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.publish(t, sum)
+}
+
+func newTestFollower(t *testing.T, f *primaryFixture) *replica.Follower {
+	t.Helper()
+	fl, err := replica.NewFollower(replica.FollowerConfig{
+		Scheme:      f.sys.Scheme,
+		QSOpts:      []core.Option{core.WithShards(4)},
+		ReadTimeout: 2 * time.Second,
+		RetryBase:   10 * time.Millisecond,
+		RetryMax:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// caughtUp reports whether the follower mirrors the primary exactly.
+func caughtUp(f *primaryFixture, fl *replica.Follower) bool {
+	return fl.AppliedLSN() == f.src.LastLSN() &&
+		fl.QS().Len() == f.sys.QS.Len() &&
+		len(fl.QS().SummariesSince(0)) == len(f.sys.QS.SummariesSince(0))
+}
+
+// TestFollowerBootstrapImage exercises the 'B' path: a primary without
+// a WAL can only serve a full image, and the follower installs it and
+// stays current from the live feed.
+func TestFollowerBootstrapImage(t *testing.T) {
+	f, shutdown := newPrimary(t, 300, false)
+	defer shutdown()
+	fl := newTestFollower(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fl.Run(ctx, f.addr)
+
+	waitUntil(t, "bootstrap catch-up", func() bool { return caughtUp(f, fl) })
+	if fl.Stats().Bootstraps == 0 {
+		t.Fatal("no-WAL primary must bootstrap with an image")
+	}
+	for i := 0; i < 5; i++ {
+		f.update(t, f.keys[i])
+	}
+	waitUntil(t, "live tail", func() bool { return caughtUp(f, fl) })
+	if fl.Lag() != 0 {
+		t.Fatalf("lag = %d after catch-up", fl.Lag())
+	}
+	// Heartbeats keep the primary LSN observable on an idle feed.
+	waitUntil(t, "heartbeat", func() bool { return fl.PrimaryLSN() == f.src.LastLSN() })
+}
+
+// TestFollowerTailsLog exercises the 'W' catch-up path: with the
+// primary's WAL intact, a fresh follower replays it instead of
+// receiving an image, and a restarted follower resumes from its
+// applied LSN without re-bootstrapping.
+func TestFollowerTailsLog(t *testing.T) {
+	f, shutdown := newPrimary(t, 300, true)
+	defer shutdown()
+	fl := newTestFollower(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	go fl.Run(ctx, f.addr)
+	waitUntil(t, "log catch-up", func() bool { return caughtUp(f, fl) })
+	if b := fl.Stats().Bootstraps; b != 0 {
+		t.Fatalf("bootstraps = %d, want 0 (log tail suffices)", b)
+	}
+
+	// Stop the feed, advance the primary, restart: the follower
+	// resumes after its applied LSN and only tails the delta.
+	cancel()
+	waitUntil(t, "feed stopped", func() bool { return ctx.Err() != nil })
+	applied := fl.AppliedLSN()
+	for i := 0; i < 4; i++ {
+		f.update(t, f.keys[10+i])
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go fl.Run(ctx2, f.addr)
+	waitUntil(t, "resumed catch-up", func() bool { return caughtUp(f, fl) })
+	if fl.AppliedLSN() <= applied {
+		t.Fatal("follower did not advance after resume")
+	}
+	if b := fl.Stats().Bootstraps; b != 0 {
+		t.Fatalf("bootstraps = %d after resume, want 0", b)
+	}
+}
+
+// TestFollowerRebootstrapsPastTruncation: when the primary's log has
+// been truncated past the follower's position (snapshot + DropThrough
+// while the follower was away), resubscription falls back to a fresh
+// image.
+func TestFollowerRebootstrapsPastTruncation(t *testing.T) {
+	f, shutdown := newPrimary(t, 200, true)
+	defer shutdown()
+	fl := newTestFollower(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	go fl.Run(ctx, f.addr)
+	waitUntil(t, "initial catch-up", func() bool { return caughtUp(f, fl) })
+	cancel()
+
+	for i := 0; i < 3; i++ {
+		f.update(t, f.keys[i])
+	}
+	// Snapshot the primary and truncate every covered segment, so the
+	// follower's resume point predates the log.
+	snap, err := wal.Capture(f.sys.DA, f.sys.QS, f.store.LastLSN(), f.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	f.update(t, f.keys[5]) // ensure the feed has post-snapshot traffic
+	if first := f.store.Log().FirstLSN(); first <= fl.AppliedLSN()+1 {
+		t.Fatalf("log not truncated (first=%d, follower at %d): test setup broken", first, fl.AppliedLSN())
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go fl.Run(ctx2, f.addr)
+	waitUntil(t, "re-bootstrap", func() bool { return caughtUp(f, fl) })
+	if b := fl.Stats().Bootstraps; b == 0 {
+		t.Fatal("truncated log must force an image bootstrap")
+	}
+}
+
+// TestFollowerPauseResume: Pause freezes the replica (the chaos
+// harness's artificial lag), Resume catches it back up.
+func TestFollowerPauseResume(t *testing.T) {
+	f, shutdown := newPrimary(t, 200, true)
+	defer shutdown()
+	fl := newTestFollower(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fl.Run(ctx, f.addr)
+	waitUntil(t, "catch-up", func() bool { return caughtUp(f, fl) })
+
+	fl.Pause()
+	frozen := fl.AppliedLSN()
+	for i := 0; i < 5; i++ {
+		f.update(t, f.keys[20+i])
+	}
+	time.Sleep(50 * time.Millisecond) // the feed must NOT advance
+	if fl.AppliedLSN() != frozen {
+		t.Fatalf("paused follower advanced: %d -> %d", frozen, fl.AppliedLSN())
+	}
+	fl.Resume()
+	waitUntil(t, "post-resume catch-up", func() bool { return caughtUp(f, fl) })
+}
+
+// TestFollowerServesVerifyingClient is the end-to-end trust story: a
+// verifying client sessions against the *follower*, syncs the
+// certified summary stream, and fully verifies answers — the replica
+// is never trusted, and its answers carry the owner's signatures.
+func TestFollowerServesVerifyingClient(t *testing.T) {
+	f, shutdown := newPrimary(t, 400, true)
+	defer shutdown()
+	fl := newTestFollower(t, f)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go fl.Run(ctx, f.addr)
+	waitUntil(t, "catch-up", func() bool { return caughtUp(f, fl) })
+
+	fsrv := server.NewNetServer(fl.QS(), server.NetConfig{})
+	ln, err := fsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fsrv.Serve(ln)
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		fsrv.Shutdown(sctx)
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(), client.Config{Scheme: f.sys.Scheme, Pub: f.sys.Pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.SyncSummaries(0); err != nil {
+		t.Fatal(err)
+	}
+	ranges := []core.Range{
+		{Lo: f.keys[0], Hi: f.keys[40]},
+		{Lo: f.keys[100], Hi: f.keys[160]},
+	}
+	if _, _, err := cl.QueryBatch(ranges); err != nil {
+		t.Fatalf("verified query against follower: %v", err)
+	}
+
+	// Advance the primary; once the follower caught up, the client
+	// re-anchors and verifies the post-update answer too.
+	f.update(t, f.keys[1])
+	waitUntil(t, "catch-up after update", func() bool { return caughtUp(f, fl) })
+	if _, _, err := cl.QueryBatch(ranges); err != nil {
+		t.Fatalf("verified post-update query: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"authdb/internal/sigagg/xortest"
+)
+
+// TestRunFleetChaosShort drives a miniature fleet soak end to end:
+// every window must make verified progress, every Byzantine mode must
+// be detected and attributed, and the final sweeps must pass. The
+// run's safety invariants are asserted inside RunFleetChaos itself —
+// a returned report IS the pass.
+func TestRunFleetChaosShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet soak takes a few seconds")
+	}
+	cfg := DefaultFleetConfig(xortest.New())
+	cfg.N = 2_000
+	cfg.Ranges = 64
+	cfg.Clients = 2
+	cfg.Replicas = 3
+	cfg.Window = 500 * time.Millisecond
+	rep, err := RunFleetChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Windows) != len(fleetWindows) {
+		t.Fatalf("ran %d windows, want %d", len(rep.Windows), len(fleetWindows))
+	}
+	if rep.TotalAccepted == 0 || rep.TotalByzDetected < int64(len(fleetWindows)) {
+		t.Fatalf("weak soak: %+v", rep)
+	}
+	if rep.Misattributed != 0 {
+		t.Fatalf("%d honest replicas blamed", rep.Misattributed)
+	}
+	if !rep.CorrectnessChecked || rep.FollowersVerified != cfg.Replicas {
+		t.Fatalf("final sweeps incomplete: %+v", rep)
+	}
+	if rep.MaxReplicaLag == 0 {
+		t.Fatal("held replica never lagged")
+	}
+}

@@ -50,6 +50,12 @@ type NetConfig struct {
 	// re-requests from the last received timestamp until a response
 	// comes back empty.
 	MaxSummaries int
+	// FairShare caps the fraction of the admission budget (MaxInflight
+	// + MaxPending) one connection may occupy simultaneously, so a
+	// single flooding client cannot consume the whole queue and starve
+	// polite ones (0 = no per-connection cap; the cap never rounds
+	// below one slot). Only meaningful with MaxInflight > 0.
+	FairShare float64
 }
 
 // DefaultMaxSummaries bounds one summary response frame.
@@ -57,14 +63,24 @@ const DefaultMaxSummaries = 2048
 
 // NetStats are the listener's monotonic counters.
 type NetStats struct {
-	Conns     uint64 // connections accepted
-	Queries   uint64 // 'Q' frames served
-	Summaries uint64 // 'S' frames served
-	Errors    uint64 // 'E' responses sent
-	Shed      uint64 // requests rejected by admission control
-	Queued    uint64 // requests that waited in the admission queue
-	Malformed uint64 // connections dropped for unparseable frames
-	BytesOut  uint64 // response payload bytes written
+	Conns       uint64 // connections accepted
+	Queries     uint64 // 'Q' frames served
+	Summaries   uint64 // 'S' frames served
+	Errors      uint64 // 'E' responses sent
+	Shed        uint64 // requests rejected by admission control
+	FairShed    uint64 // requests shed by the per-connection fairness cap
+	Queued      uint64 // requests that waited in the admission queue
+	Malformed   uint64 // connections dropped for unparseable frames
+	BytesOut    uint64 // response payload bytes written
+	ReplStreams uint64 // replication subscriptions accepted
+}
+
+// ReplSource streams the replication feed to a follower connection; it
+// is implemented by replica.Source and attached via EnableReplication.
+// The server package depends only on this interface, so the serving
+// front end stays decoupled from the replication machinery.
+type ReplSource interface {
+	ServeConn(conn net.Conn, afterLSN uint64, stop <-chan struct{}) error
 }
 
 // NetServer exposes a QueryServer over a byte stream: length-prefixed
@@ -88,12 +104,16 @@ type NetServer struct {
 	sem chan struct{} // MaxConns slots, nil when unlimited
 	adm *admission   // nil when MaxInflight is unlimited
 
-	conNum    atomic.Uint64
-	queries   atomic.Uint64
-	summaries atomic.Uint64
-	errs      atomic.Uint64
-	malformed atomic.Uint64
-	bytesOut  atomic.Uint64
+	repl ReplSource    // nil unless EnableReplication
+	stop chan struct{} // closed by Shutdown; terminates replication streams
+
+	conNum      atomic.Uint64
+	queries     atomic.Uint64
+	summaries   atomic.Uint64
+	errs        atomic.Uint64
+	malformed   atomic.Uint64
+	bytesOut    atomic.Uint64
+	replStreams atomic.Uint64
 }
 
 // NewNetServer wraps qs (whose answer cache, if wanted, the caller
@@ -104,12 +124,20 @@ func NewNetServer(qs *core.QueryServer, cfg NetConfig) *NetServer {
 		cfg:   cfg,
 		codec: Codec(),
 		conns: make(map[net.Conn]struct{}),
-		adm:   newAdmission(cfg.MaxInflight, cfg.MaxPending),
+		adm:   newAdmission(cfg.MaxInflight, cfg.MaxPending, cfg.FairShare),
+		stop:  make(chan struct{}),
 	}
 	if cfg.MaxConns > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConns)
 	}
 	return s
+}
+
+// EnableReplication attaches the primary-side replication hub: a
+// connection whose request is an 'R' subscription is handed over to
+// src for the rest of its life. Call before Serve.
+func (s *NetServer) EnableReplication(src ReplSource) {
+	s.repl = src
 }
 
 // ErrServerClosed is returned by Serve after Shutdown.
@@ -214,6 +242,9 @@ func (s *NetServer) Serve(ln net.Listener) error {
 // forcibly, and Shutdown still waits for the handlers themselves.
 func (s *NetServer) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	if !s.draining {
+		close(s.stop) // replication streams exit their select loops
+	}
 	s.draining = true
 	s.drain.Store(true)
 	s.adm.close() // queued requests are shed, not served, past this point
@@ -251,15 +282,17 @@ func (s *NetServer) Shutdown(ctx context.Context) error {
 // Stats snapshots the listener counters.
 func (s *NetServer) Stats() NetStats {
 	st := NetStats{
-		Conns:     s.conNum.Load(),
-		Queries:   s.queries.Load(),
-		Summaries: s.summaries.Load(),
-		Errors:    s.errs.Load(),
-		Malformed: s.malformed.Load(),
-		BytesOut:  s.bytesOut.Load(),
+		Conns:       s.conNum.Load(),
+		Queries:     s.queries.Load(),
+		Summaries:   s.summaries.Load(),
+		Errors:      s.errs.Load(),
+		Malformed:   s.malformed.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		ReplStreams: s.replStreams.Load(),
 	}
 	if s.adm != nil {
 		st.Shed = s.adm.shed.Load()
+		st.FairShed = s.adm.fairShed.Load()
 		st.Queued = s.adm.queued.Load()
 	}
 	return st
@@ -323,6 +356,7 @@ func (w *connWriter) flush() error {
 func (s *NetServer) handle(conn net.Conn) {
 	rd := bufio.NewReaderSize(conn, 4096)
 	w := &connWriter{conn: conn, s: s}
+	gate := &connGate{}
 	var frame []byte
 	for {
 		if s.drain.Load() && rd.Buffered() == 0 {
@@ -372,7 +406,14 @@ func (s *NetServer) handle(conn net.Conn) {
 			w.flush()
 			return
 		}
-		if !s.adm.acquire() {
+		if kind == 'R' {
+			// A replication subscription takes the connection over for
+			// its remaining life; it is a long-lived stream, not a
+			// request, so it bypasses the admission gate.
+			s.serveReplication(w, conn, frame)
+			return
+		}
+		if !s.adm.acquire(gate) {
 			// Shed: reject fast with a machine-readable overload code so
 			// the client backs off; the connection stays healthy.
 			if err := s.writeErrorCode(w, wire.ErrCodeOverloaded,
@@ -392,7 +433,7 @@ func (s *NetServer) handle(conn net.Conn) {
 		default:
 			err = s.writeError(w, fmt.Errorf("server: unsupported request kind %q", kind))
 		}
-		s.adm.release()
+		s.adm.release(gate)
 		if err != nil {
 			return // write-side failure; the conn is done
 		}
@@ -407,6 +448,32 @@ func (s *NetServer) handle(conn net.Conn) {
 // errOverloadedResponse is the shed response's payload; the code byte
 // is what clients dispatch on, the text is for humans.
 var errOverloadedResponse = errors.New("server: overloaded, retry with backoff")
+
+// serveReplication hands one connection whose request was an 'R'
+// subscription over to the replication hub. Any pending responses are
+// flushed first so the follower sees a clean stream.
+func (s *NetServer) serveReplication(w *connWriter, conn net.Conn, frame []byte) {
+	after, err := wire.DecodeReplSubReq(frame)
+	if err != nil {
+		s.malformed.Add(1)
+		s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
+		w.flush()
+		return
+	}
+	if s.repl == nil {
+		s.writeError(w, errors.New("server: replication not enabled"))
+		w.flush()
+		return
+	}
+	if err := w.flush(); err != nil {
+		return
+	}
+	// The stream writes directly; deadlines set by the request loop no
+	// longer apply.
+	conn.SetReadDeadline(time.Time{})
+	s.replStreams.Add(1)
+	s.repl.ServeConn(conn, after, s.stop)
+}
 
 // serveQuery answers one 'Q' frame. Protocol errors (bad range) are
 // reported to the peer as 'E' responses; only transport errors are

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"authdb/internal/wal"
+)
+
+// MetricsBuf accumulates metrics in the Prometheus text exposition
+// format (version 0.0.4): one # HELP line, one # TYPE line, then the
+// sample, per metric. Plain text on purpose — any scraper, curl, or
+// grep can read it, and the server takes on no client-library
+// dependency.
+type MetricsBuf struct {
+	b bytes.Buffer
+}
+
+func (m *MetricsBuf) emit(name, help, typ string, value string) {
+	// HELP text is a single line by format rules.
+	help = strings.ReplaceAll(help, "\n", " ")
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s %s\n%s %s\n", name, help, name, typ, name, value)
+}
+
+// Counter emits a monotonically increasing sample.
+func (m *MetricsBuf) Counter(name, help string, v uint64) {
+	m.emit(name, help, "counter", fmt.Sprintf("%d", v))
+}
+
+// Gauge emits a point-in-time sample.
+func (m *MetricsBuf) Gauge(name, help string, v float64) {
+	m.emit(name, help, "gauge", fmt.Sprintf("%g", v))
+}
+
+// Bytes returns the accumulated exposition payload.
+func (m *MetricsBuf) Bytes() []byte { return m.b.Bytes() }
+
+// MetricFn contributes one component's metrics to a scrape. Each
+// scrape calls every registered fn against a fresh buffer, so samples
+// are always current — there is no metrics cache to go stale.
+type MetricFn func(*MetricsBuf)
+
+// Metrics emits the server's network counters and the underlying
+// QueryServer's serving-cache counters.
+func (s *NetServer) Metrics(m *MetricsBuf) {
+	st := s.Stats()
+	m.Counter("authdb_net_conns_total", "Connections accepted.", st.Conns)
+	m.Counter("authdb_net_queries_total", "Range-query frames served.", st.Queries)
+	m.Counter("authdb_net_summaries_total", "Summary-sync frames served.", st.Summaries)
+	m.Counter("authdb_net_errors_total", "Error responses sent.", st.Errors)
+	m.Counter("authdb_net_shed_total", "Requests rejected by admission control.", st.Shed)
+	m.Counter("authdb_net_fair_shed_total", "Requests shed by the per-connection fairness cap.", st.FairShed)
+	m.Counter("authdb_net_queued_total", "Requests that waited in the admission queue.", st.Queued)
+	m.Counter("authdb_net_malformed_total", "Connections dropped for unparseable frames.", st.Malformed)
+	m.Counter("authdb_net_bytes_out_total", "Response payload bytes written.", st.BytesOut)
+	m.Counter("authdb_net_repl_streams_total", "Replication subscriptions accepted.", st.ReplStreams)
+
+	sv := s.qs.ServingStats()
+	m.Counter("authdb_anscache_hits_total", "Answer-cache lookups served from a resident entry.", sv.Answers.Hits)
+	m.Counter("authdb_anscache_built_total", "Answer-cache build functions executed.", sv.Answers.Built)
+	m.Counter("authdb_anscache_coalesced_total", "Answer-cache callers who shared another's flight.", sv.Answers.Coalesced)
+	m.Counter("authdb_anscache_invalidations_total", "Answer-cache entries dropped on a stale stamp.", sv.Answers.Invalidations)
+	m.Counter("authdb_anscache_evictions_total", "Answer-cache entries dropped by the size bound.", sv.Answers.Evictions)
+	m.Gauge("authdb_anscache_bytes", "Resident answer-cache wire bytes.", float64(sv.Answers.Bytes))
+	m.Gauge("authdb_anscache_entries", "Resident answer-cache entries.", float64(sv.Answers.Entries))
+	m.Counter("authdb_sigcache_hits_total", "Cached signature aggregates used by queries.", sv.Sig.Hits)
+	m.Counter("authdb_sigcache_query_ops_total", "Aggregation ops spent building query aggregates.", sv.Sig.QueryOps)
+	m.Counter("authdb_sigcache_refresh_ops_total", "Aggregation ops spent refreshing cached aggregates.", sv.Sig.RefreshOps)
+}
+
+// WalMetrics adapts a durable store's log positions for a scrape.
+func WalMetrics(store *wal.Store) MetricFn {
+	return func(m *MetricsBuf) {
+		log := store.Log()
+		m.Gauge("authdb_wal_last_lsn", "Last LSN appended to the write-ahead log.", float64(log.LastLSN()))
+		m.Gauge("authdb_wal_durable_lsn", "Last fsynced LSN.", float64(log.DurableLSN()))
+		m.Gauge("authdb_wal_first_lsn", "First LSN still held by the log (0 = empty).", float64(log.FirstLSN()))
+	}
+}
+
+// ServeMetrics exposes the composed metric fns over HTTP at addr
+// (GET /metrics, with / aliased for convenience). It returns the bound
+// address — pass ":0" for an ephemeral port — and a shutdown func.
+// Observability is a side channel: nothing served here is
+// authenticated, and clients must never treat it as a substitute for
+// the verified answer path.
+func ServeMetrics(addr string, fns ...MetricFn) (string, func(context.Context) error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		var m MetricsBuf
+		for _, fn := range fns {
+			fn(&m)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(m.Bytes())
+	}
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/", handler)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Shutdown, nil
+}

@@ -390,6 +390,22 @@ func (l *Log) DurableLSN() uint64 {
 	return l.durable
 }
 
+// FirstLSN reports the LSN of the earliest record still present (0
+// when the log is empty). Records below it were truncated away by
+// DropThrough after a snapshot covered them; a reader that needs
+// history from before FirstLSN must start from a snapshot instead.
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 || l.lsn == 0 {
+		return 0
+	}
+	if first := l.segs[0].first; first <= l.lsn {
+		return first
+	}
+	return 0 // nothing recorded yet past the truncation point
+}
+
 // Rotate seals the active segment and starts a new one. Cheap: one
 // fsync of the old tail plus a file create. Called after a snapshot so
 // DropThrough can later delete fully-covered segments.

@@ -1,0 +1,189 @@
+package wire
+
+// Replication frames: an untrusted follower replica subscribes to the
+// primary's dissemination feed and mirrors its serving state. The
+// follower needs no trust — it re-serves owner-signed records and
+// owner-certified summaries, and clients verify everything — so the
+// feed carries no authentication of its own beyond the owner
+// signatures already inside every record and summary.
+//
+//	'R'  follower -> primary   subscribe, resuming after a known LSN
+//	'B'  primary  -> follower  bootstrap image (full server state + LSN)
+//	'W'  primary  -> follower  one WAL record (LSN + UpdateMsg)
+//	'H'  primary  -> follower  heartbeat carrying the primary's LSN
+//
+// A 'W' frame piggybacks the primary's current last LSN so a follower
+// can expose its replication lag even while records stream; 'H' keeps
+// the lag observable when the feed is idle.
+
+import (
+	"fmt"
+
+	"authdb/internal/core"
+	"authdb/internal/sigagg"
+)
+
+// ---- ReplSubReq (follower -> primary) ----
+
+// AppendReplSubReq appends a replication subscription resuming after
+// afterLSN (0 = from nothing; the primary decides whether to bootstrap
+// a fresh image or tail its log).
+func AppendReplSubReq(buf []byte, afterLSN uint64) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('R')
+	w.u64(afterLSN)
+	return w.buf
+}
+
+// DecodeReplSubReq parses a replication subscription request.
+func DecodeReplSubReq(data []byte) (uint64, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'R'); err != nil {
+		return 0, err
+	}
+	after, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return after, r.done()
+}
+
+// ---- Bootstrap (primary -> follower) ----
+
+// AppendBootstrap appends a bootstrap image: the full serving state as
+// of lsn. The follower installs it via core.QueryServer.Restore and
+// resumes tailing from lsn.
+func AppendBootstrap(buf []byte, lsn uint64, st *core.ServerState) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('B')
+	w.u64(lsn)
+	w.u64(uint64(len(st.Records)))
+	for _, sr := range st.Records {
+		putRecord(w, sr.Rec)
+		w.bytes(sr.Sig)
+	}
+	w.u64(uint64(len(st.Summaries)))
+	for i := range st.Summaries {
+		putSummary(w, &st.Summaries[i])
+	}
+	return w.buf
+}
+
+// DecodeBootstrap parses a bootstrap image.
+func DecodeBootstrap(data []byte) (uint64, *core.ServerState, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'B'); err != nil {
+		return 0, nil, err
+	}
+	lsn, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	nRecs, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nRecs > maxLen {
+		return 0, nil, fmt.Errorf("%w: record count %d", ErrCorrupt, nRecs)
+	}
+	st := &core.ServerState{}
+	for i := uint64(0); i < nRecs; i++ {
+		rec, err := getRecord(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		sig, err := r.bytes()
+		if err != nil {
+			return 0, nil, err
+		}
+		st.Records = append(st.Records, core.SignedRecord{Rec: rec, Sig: sigagg.Signature(sig)})
+	}
+	nSums, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	if nSums > maxLen {
+		return 0, nil, fmt.Errorf("%w: summary count %d", ErrCorrupt, nSums)
+	}
+	for i := uint64(0); i < nSums; i++ {
+		s, err := getSummary(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		st.Summaries = append(st.Summaries, s)
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return lsn, st, nil
+}
+
+// ---- WalRecord (primary -> follower) ----
+
+// AppendWalRecord appends one replicated WAL record: its LSN, the
+// primary's last LSN at send time (for follower lag accounting), and
+// the dissemination message encoded by AppendUpdateMsg — nested as a
+// length-prefixed blob so the primary encodes once and fans the same
+// bytes out to every subscriber.
+func AppendWalRecord(buf []byte, lsn, primaryLSN uint64, msgData []byte) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('W')
+	w.u64(lsn)
+	w.u64(primaryLSN)
+	w.bytes(msgData)
+	return w.buf
+}
+
+// DecodeWalRecord parses one replicated WAL record.
+func DecodeWalRecord(data []byte) (lsn, primaryLSN uint64, msg *core.UpdateMsg, err error) {
+	r := &reader{buf: data}
+	if err = header(r, 'W'); err != nil {
+		return 0, 0, nil, err
+	}
+	if lsn, err = r.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	if primaryLSN, err = r.u64(); err != nil {
+		return 0, 0, nil, err
+	}
+	body, err := r.bytes()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err = r.done(); err != nil {
+		return 0, 0, nil, err
+	}
+	msg, err = DecodeUpdateMsg(body)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return lsn, primaryLSN, msg, nil
+}
+
+// ---- ReplHeartbeat (primary -> follower) ----
+
+// AppendReplHeartbeat appends an idle-feed heartbeat carrying the
+// primary's last LSN.
+func AppendReplHeartbeat(buf []byte, primaryLSN uint64) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('H')
+	w.u64(primaryLSN)
+	return w.buf
+}
+
+// DecodeReplHeartbeat parses a replication heartbeat.
+func DecodeReplHeartbeat(data []byte) (uint64, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'H'); err != nil {
+		return 0, err
+	}
+	lsn, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return lsn, r.done()
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"authdb/internal/chain"
+	"authdb/internal/core"
+	"authdb/internal/freshness"
+	"authdb/internal/sigagg"
+)
+
+func TestReplSubReqRoundTrip(t *testing.T) {
+	data := AppendReplSubReq(GetBuffer(), 12345)
+	defer PutBuffer(data)
+	if k, err := Kind(data); err != nil || k != 'R' {
+		t.Fatalf("kind=%q err=%v", k, err)
+	}
+	after, err := DecodeReplSubReq(data)
+	if err != nil || after != 12345 {
+		t.Fatalf("after=%d err=%v", after, err)
+	}
+	if _, err := DecodeReplSubReq(data[:len(data)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBootstrapRoundTrip(t *testing.T) {
+	st := &core.ServerState{
+		Records: []core.SignedRecord{
+			{Rec: &chain.Record{RID: 7, Key: 10, Attrs: [][]byte{{1}, {2}}, TS: 99}, Sig: sigagg.Signature("sig-a")},
+			{Rec: &chain.Record{RID: 8, Key: 20, TS: 100}, Sig: sigagg.Signature("sig-b")},
+		},
+		Summaries: []freshness.Summary{
+			{Seq: 1, PeriodStart: 0, TS: 50, Compressed: []byte{0x01}, Sig: sigagg.Signature("sum-sig")},
+		},
+	}
+	data := AppendBootstrap(GetBuffer(), 42, st)
+	defer PutBuffer(data)
+	if k, err := Kind(data); err != nil || k != 'B' {
+		t.Fatalf("kind=%q err=%v", k, err)
+	}
+	lsn, got, err := DecodeBootstrap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 || len(got.Records) != 2 || len(got.Summaries) != 1 {
+		t.Fatalf("lsn=%d records=%d summaries=%d", lsn, len(got.Records), len(got.Summaries))
+	}
+	if got.Records[0].Rec.Key != 10 || !bytes.Equal(got.Records[0].Sig, st.Records[0].Sig) {
+		t.Fatalf("record 0 mismatch: %+v", got.Records[0])
+	}
+	if got.Summaries[0].Seq != 1 || !bytes.Equal(got.Summaries[0].Sig, st.Summaries[0].Sig) {
+		t.Fatalf("summary mismatch: %+v", got.Summaries[0])
+	}
+	// Decoded state must not alias the frame buffer (a reusable read
+	// buffer outlives the decode).
+	data[len(data)-1] ^= 0xFF
+	if !bytes.Equal(got.Summaries[0].Sig, st.Summaries[0].Sig) {
+		t.Fatal("decoded summary aliases the frame buffer")
+	}
+	for i := 10; i < len(data); i++ {
+		if _, _, err := DecodeBootstrap(data[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestWalRecordRoundTrip(t *testing.T) {
+	msg := &core.UpdateMsg{
+		TS: 77,
+		Upserts: []core.SignedRecord{
+			{Rec: &chain.Record{RID: 1, Key: 5, TS: 77}, Sig: sigagg.Signature("s")},
+		},
+		Deletes: []uint64{9},
+		Summary: &freshness.Summary{Seq: 3, PeriodStart: 60, TS: 70, Compressed: []byte{0x02}, Sig: sigagg.Signature("z")},
+	}
+	msgData := AppendUpdateMsg(GetBuffer(), msg)
+	data := AppendWalRecord(GetBuffer(), 11, 15, msgData)
+	PutBuffer(msgData)
+	defer PutBuffer(data)
+	if k, err := Kind(data); err != nil || k != 'W' {
+		t.Fatalf("kind=%q err=%v", k, err)
+	}
+	lsn, primary, got, err := DecodeWalRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 11 || primary != 15 {
+		t.Fatalf("lsn=%d primary=%d", lsn, primary)
+	}
+	if got.TS != 77 || len(got.Upserts) != 1 || len(got.Deletes) != 1 || got.Summary == nil || got.Summary.Seq != 3 {
+		t.Fatalf("decoded msg mismatch: %+v", got)
+	}
+	// A garbled nested message must fail loudly, not decode partially.
+	// Offset 26 is the nested UpdateMsg's version byte (2-byte header +
+	// two u64 LSNs + the nested blob's u64 length prefix).
+	bad := append([]byte(nil), data...)
+	bad[26] ^= 0x01
+	if _, _, _, err := DecodeWalRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbled nested msg: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplHeartbeatRoundTrip(t *testing.T) {
+	data := AppendReplHeartbeat(GetBuffer(), 1<<40)
+	defer PutBuffer(data)
+	if k, err := Kind(data); err != nil || k != 'H' {
+		t.Fatalf("kind=%q err=%v", k, err)
+	}
+	lsn, err := DecodeReplHeartbeat(data)
+	if err != nil || lsn != 1<<40 {
+		t.Fatalf("lsn=%d err=%v", lsn, err)
+	}
+}
