@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal bench-chaos clean
+.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal bench-chaos bench-fleet bench-verify clean
 
 all: build vet test
 
@@ -57,10 +57,17 @@ bench-chaos:
 bench-fleet:
 	$(GO) run ./cmd/authbench fleet -n 20000
 
+# Emit BENCH_verify.json (BAS verification fast path vs the portable
+# oracle: portable/cold/warm answers-per-second, worker sweep, cache
+# counters, equivalence evidence; non-zero exit if fast and portable
+# ever disagree).
+bench-verify:
+	$(GO) run ./cmd/authbench verify -check
+
 # Run the networked serving daemon (Ctrl-C drains gracefully).
 serve:
 	$(GO) run ./cmd/authserve serve -n $(BENCH_N)
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json BENCH_chaos.json
+	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json BENCH_chaos.json BENCH_fleet.json BENCH_verify.json

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"authdb/internal/sigagg"
@@ -49,12 +51,19 @@ var experiments = []experiment{
 	{"net", "networked serving: verifying clients over loopback TCP (writes BENCH_net.json)", runNet},
 	{"chaos", "hostile-network soak: faults, kills, overload shedding (writes BENCH_chaos.json)", runChaos},
 	{"fleet", "untrusted replica fleet soak: failover, Byzantine replica detection (writes BENCH_fleet.json)", runFleet},
+	{"verify", "BAS verification fast path vs portable oracle (writes BENCH_verify.json)", runVerifyBench},
 }
 
 func main() {
+	code := run()
+	stopProfiles()
+	os.Exit(code)
+}
+
+func run() int {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	name := os.Args[1]
 	args := os.Args[2:]
@@ -63,23 +72,23 @@ func main() {
 			fmt.Printf("\n================ %s: %s ================\n", e.name, e.desc)
 			if err := e.run(nil); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 	for _, e := range experiments {
 		if e.name == name {
 			if err := e.run(args); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
-			return
+			return 0
 		}
 	}
 	fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 	usage()
-	os.Exit(2)
+	return 2
 }
 
 func usage() {
@@ -91,11 +100,71 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  all      run every experiment with defaults")
 }
 
+// benchFlags wraps a FlagSet so every subcommand carries the shared
+// profiling flags: Parse starts the CPU profile after the flags are in,
+// and main's exit path flushes both profiles. The next perf PR starts
+// from `authbench <cmd> -cpuprofile cpu.pb.gz`, not a guess.
+type benchFlags struct {
+	*flag.FlagSet
+}
+
+var (
+	cpuProfilePath string
+	memProfilePath string
+	cpuProfileFile *os.File
+)
+
+// Parse parses the flags and then starts the requested profiles.
+func (f *benchFlags) Parse(args []string) error {
+	if err := f.FlagSet.Parse(args); err != nil {
+		return err
+	}
+	if cpuProfilePath != "" && cpuProfileFile == nil {
+		fp, err := os.Create(cpuProfilePath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(fp); err != nil {
+			fp.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		cpuProfileFile = fp
+	}
+	return nil
+}
+
+// stopProfiles flushes the CPU profile and writes the heap profile; it
+// runs once on every exit path of main.
+func stopProfiles() {
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+		cpuProfileFile = nil
+		fmt.Fprintf(os.Stderr, "authbench: wrote CPU profile to %s\n", cpuProfilePath)
+	}
+	if memProfilePath != "" {
+		fp, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "authbench: memprofile: %v\n", err)
+			return
+		}
+		defer fp.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.Lookup("heap").WriteTo(fp, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "authbench: memprofile: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "authbench: wrote heap profile to %s\n", memProfilePath)
+	}
+}
+
 // newFlags builds a FlagSet that errors instead of exiting, so `all`
-// can pass nil args.
-func newFlags(name string) *flag.FlagSet {
+// can pass nil args. Every subcommand gets -cpuprofile/-memprofile.
+func newFlags(name string) *benchFlags {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
-	return fs
+	fs.StringVar(&cpuProfilePath, "cpuprofile", "", "write a CPU profile of this run to the given file")
+	fs.StringVar(&memProfilePath, "memprofile", "", "write a heap profile on exit to the given file")
+	return &benchFlags{FlagSet: fs}
 }
 
 // schemeFromFlag resolves the -scheme flag the serving benchmarks

@@ -130,6 +130,17 @@ func checkNetJSON(path string) error {
 	if rep.Server.Queries == 0 || rep.Server.BytesOut == 0 {
 		return fmt.Errorf("net: %s: server moved no traffic (%+v)", path, rep.Server)
 	}
+	// For schemes with a verification fast path (bas), the run must
+	// prove the clients actually exercised it: cached hash-to-curve
+	// lookups and fast verifications both nonzero.
+	if rep.Scheme == "bas" {
+		if rep.Verify == nil {
+			return fmt.Errorf("net: %s: bas run is missing verify stats", path)
+		}
+		if rep.Verify.H2CCacheHits == 0 || rep.Verify.FastVerifies == 0 {
+			return fmt.Errorf("net: %s: verification fast path not exercised (%+v)", path, rep.Verify)
+		}
+	}
 	fmt.Printf("net: %s is well-formed (%d points, peak %.0f qps, %d answers verified in sweep)\n",
 		path, len(rep.Points), rep.MaxQPS, rep.SweepVerified)
 	return nil

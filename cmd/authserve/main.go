@@ -279,7 +279,7 @@ func runServe(args []string) error {
 		fmt.Printf("authserve: replication feed enabled (run: authserve follow -primary %s)\n", ln.Addr())
 	}
 	if *statsAddr != "" {
-		fns := []server.MetricFn{srv.Metrics}
+		fns := []server.MetricFn{srv.Metrics, server.VerifyMetrics(scheme)}
 		if store != nil {
 			fns = append(fns, server.WalMetrics(store))
 		}
@@ -537,7 +537,7 @@ func runFollow(args []string) error {
 		return err
 	}
 	if *statsAddr != "" {
-		bound, stopStats, err := server.ServeMetrics(*statsAddr, srv.Metrics, followerMetrics(fl))
+		bound, stopStats, err := server.ServeMetrics(*statsAddr, srv.Metrics, followerMetrics(fl), server.VerifyMetrics(scheme))
 		if err != nil {
 			return fmt.Errorf("stats listener: %w", err)
 		}

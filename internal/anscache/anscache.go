@@ -6,12 +6,15 @@
 // Three mechanisms make hot-range serving O(1):
 //
 //   - Epoch validation. Every entry carries a Stamp: the epoch of each
-//     data shard the proof consulted plus the summary-stream epoch. A
-//     lookup compares the stamp against the live counters (atomic
-//     loads, no locks) and serves only while every component is still
-//     current. Updates invalidate by bumping the epochs of the shards
-//     they touch — cached ranges that do not intersect the update keep
-//     serving; there is no global flush.
+//     data shard the proof consulted. A lookup compares the stamp
+//     against the live counters (atomic loads, no locks) and serves
+//     only while every component is still current. Updates invalidate
+//     by bumping the epochs of the shards they touch — cached ranges
+//     that do not intersect the update keep serving; there is no global
+//     flush. Freshness summaries are deliberately NOT part of the
+//     stamp: cached entries hold the summary-free answer core, and the
+//     serving layer attaches the per-client summary delta at response
+//     time — a ρ-period close must not flush every resident answer.
 //
 //   - Singleflight coalescing. Concurrent requests for the same missing
 //     key elect one builder; everyone else blocks on its flight and
@@ -56,14 +59,16 @@ import (
 type Key struct{ Lo, Hi int64 }
 
 // Stamp records the versions of everything an answer was derived from:
-// one epoch per consulted data shard (shards First..First+len(Epochs)-1)
-// and the summary-stream epoch. The producer must read the epochs while
-// it still holds the read locks under which it built the answer, so the
-// stamp exactly matches the data snapshot.
+// one epoch per consulted data shard (shards First..First+len(Epochs)-1).
+// The producer must read the epochs while it still holds the read locks
+// under which it built the answer, so the stamp exactly matches the data
+// snapshot. Summary publication does not stamp entries: an update to an
+// answered record always bumps that record's shard epoch before any
+// summary marking it newer can be published, so a data-current entry can
+// never contradict a summary the serving layer attaches alongside it.
 type Stamp struct {
-	First   int      // index of the first consulted data shard
-	Epochs  []uint64 // epoch per consulted shard, in shard order
-	Summary uint64   // summary-stream epoch
+	First  int      // index of the first consulted data shard
+	Epochs []uint64 // epoch per consulted shard, in shard order
 }
 
 // EpochSource exposes the live version counters stamps are validated
@@ -71,7 +76,6 @@ type Stamp struct {
 // the cache calls them on every lookup (atomic loads in practice).
 type EpochSource interface {
 	DataEpoch(shard int) uint64
-	SummaryEpoch() uint64
 }
 
 // Valid reports whether the stamp is still current against src.
@@ -81,7 +85,7 @@ func (s *Stamp) Valid(src EpochSource) bool {
 			return false
 		}
 	}
-	return src.SummaryEpoch() == s.Summary
+	return true
 }
 
 // Entry is one materialized answer. Value, Wire and Stamp are written

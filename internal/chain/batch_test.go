@@ -131,6 +131,48 @@ func TestVerifyBatchRejectsTamperedAnswer(t *testing.T) {
 	}
 }
 
+// countingScheme wraps a scheme and records how many verification jobs
+// reach the scheme layer, to observe VerifyBatch's dedup.
+type countingScheme struct {
+	sigagg.Scheme
+	jobs int
+}
+
+func (c *countingScheme) VerifyJobs(pub sigagg.PublicKey, jobs []sigagg.VerifyJob) error {
+	c.jobs += len(jobs)
+	return c.Scheme.(sigagg.BatchVerifier).VerifyJobs(pub, jobs)
+}
+
+// TestVerifyBatchDedupsIdenticalAnswers: a batch repeating the same
+// answer (hot ranges drawn many times) verifies the claim once, while
+// a tampered copy — no longer the identical statement — is still
+// verified on its own and still fails.
+func TestVerifyBatchDedupsIdenticalAnswers(t *testing.T) {
+	scheme := bas.New(0)
+	priv, pub, err := scheme.KeyGen(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := signedAnswer(t, scheme, priv, 1000, 8)
+	b := signedAnswer(t, scheme, priv, 5000, 4)
+	cs := &countingScheme{Scheme: scheme}
+	batch := []*Answer{a, b, a, a, b, a}
+	if err := VerifyBatch(cs, pub, batch, 1); err != nil {
+		t.Fatalf("duplicated valid batch rejected: %v", err)
+	}
+	if cs.jobs != 2 {
+		t.Fatalf("scheme saw %d jobs for 6 answers with 2 distinct claims", cs.jobs)
+	}
+
+	// A tampered duplicate is a distinct statement: it must be checked
+	// and the batch must fail.
+	forged := signedAnswer(t, scheme, priv, 1000, 8)
+	forged.Records[2].Attrs = [][]byte{[]byte("forged")}
+	if err := VerifyBatch(scheme, pub, []*Answer{a, forged, a}, 1); !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("tampered duplicate: want ErrVerify, got %v", err)
+	}
+}
+
 // TestVerifyBatchMatchesVerify: a batch of one is exactly Verify.
 func TestVerifyBatchMatchesVerify(t *testing.T) {
 	scheme := bas.New(0)

@@ -11,6 +11,8 @@
 package chain
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
@@ -268,6 +270,42 @@ func VerifyBatch(scheme sigagg.Scheme, pub sigagg.PublicKey, answers []*Answer, 
 			}
 			return nil
 		})
+		jobs = dedupJobs(jobs)
 	}
 	return sigagg.NewPool(scheme, par).VerifyAll(pub, jobs)
+}
+
+// dedupJobs collapses verification jobs that state the exact same claim
+// — the same aggregate covering the same digest list — down to one.
+// Skewed batches (hot ranges drawn many times, fleet re-checks) are full
+// of such repeats, and verifying an identical statement twice proves
+// nothing more than verifying it once: the statement's identity is the
+// collision-resistant hash of aggregate plus digest list, so two jobs
+// with equal keys are byte-for-byte the same claim. Distinct claims —
+// even ones sharing the aggregate or the digests — keep their own job,
+// and the scheme layer still folds *record-level* digest repeats across
+// the surviving jobs (shared range boundaries) by multiplicity.
+func dedupJobs(jobs []sigagg.VerifyJob) []sigagg.VerifyJob {
+	seen := make(map[[32]byte]struct{}, len(jobs))
+	out := jobs[:0]
+	var lenb [8]byte
+	for _, j := range jobs {
+		h := sha256.New()
+		binary.BigEndian.PutUint64(lenb[:], uint64(len(j.Agg)))
+		h.Write(lenb[:])
+		h.Write(j.Agg)
+		for _, d := range j.Digests {
+			binary.BigEndian.PutUint64(lenb[:], uint64(len(d)))
+			h.Write(lenb[:])
+			h.Write(d)
+		}
+		var key [32]byte
+		h.Sum(key[:0])
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, j)
+	}
+	return out
 }

@@ -65,19 +65,32 @@ type Config struct {
 	// protocol's timestamps are logical; by default every certified
 	// answer is simply checked against all summaries held.
 	Now func() int64
+	// VerifyWorkers caps the goroutines answer verification fans out
+	// across (digest recomputation, batched signature checks).
+	// 0 = GOMAXPROCS. Benchmarks pin it to 1 for per-core numbers.
+	VerifyWorkers int
 }
 
 // Stats are the client's monotonic counters.
 type Stats struct {
-	Queries    uint64 // answers fetched
-	Verified   uint64 // answers that passed full verification
-	Summaries  uint64 // certified summaries ingested
-	BytesIn    uint64 // response payload bytes received
+	Queries     uint64 // answers fetched
+	Verified    uint64 // answers that passed full verification
+	Summaries   uint64 // certified summaries ingested
+	BytesIn     uint64 // response payload bytes received
 	Retries     uint64 // operations resent after a retryable failure
 	Reconnects  uint64 // connections re-established
 	Shed        uint64 // operations rejected by server overload shedding
 	Failovers   uint64 // reconnects that switched to a different replica
 	Quarantines uint64 // replicas condemned for tampered/diverged state
+
+	// Verification fast-path counters, snapshotted from the scheme at
+	// Stats() time. The scheme's caches are process-wide (DialFleet
+	// clients and pools share one scheme instance, and so one set of
+	// precomputation tables), so these count the whole process's
+	// verification traffic, not just this session's.
+	H2CCacheHits   uint64 // hash-to-curve lookups served from cache
+	H2CCacheMisses uint64 // hash-to-curve lookups computed in full
+	TableBuilds    uint64 // per-public-key precomputation tables built
 }
 
 // Client is one verifying session against a networked query server.
@@ -128,6 +141,9 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		verifier: core.NewVerifier(cfg.Scheme, cfg.Pub, cfg.Protocol),
 		rng:      rand.New(rand.NewSource(seed)),
 		sleep:    time.Sleep,
+	}
+	if cfg.VerifyWorkers >= 1 {
+		c.verifier.SetParallelism(cfg.VerifyWorkers)
 	}
 	c.resetBuffers()
 	return c, nil
@@ -216,11 +232,19 @@ func (c *Client) reanchor() error {
 	return nil
 }
 
-// Stats snapshots the session counters.
+// Stats snapshots the session counters, overlaying the scheme's
+// verification fast-path counters (see the Stats field comments for
+// their process-wide scope).
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	if vs, ok := c.verifier.VerifyStats(); ok {
+		st.H2CCacheHits = vs.H2CCacheHits
+		st.H2CCacheMisses = vs.H2CCacheMisses
+		st.TableBuilds = vs.TableBuilds
+	}
+	return st
 }
 
 // SummaryCount reports how many certified summaries the session holds.
@@ -469,9 +493,16 @@ func (c *Client) fetchBatch(ranges []core.Range) ([]*core.Answer, error) {
 	}
 	c.armDeadline()
 	defer c.clearDeadline()
+	// Advertise the highest certified summary we already hold so the
+	// server sends only the delta instead of the full summary history
+	// with every answer.
+	var sinceSeq uint64
+	if latest, ok := c.verifier.LatestSummary(); ok {
+		sinceSeq = latest.Seq
+	}
 	req := wire.GetBuffer()
 	for _, r := range ranges {
-		req = wire.AppendQueryReq(req[:0], r.Lo, r.Hi)
+		req = wire.AppendQueryReq(req[:0], r.Lo, r.Hi, sinceSeq)
 		if err := wire.WriteFrame(c.bw, req); err != nil {
 			wire.PutBuffer(req)
 			return nil, err

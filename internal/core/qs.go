@@ -26,6 +26,13 @@ type Answer struct {
 	// proof (the SigCache cost unit). With the aggregation tree this is
 	// O(log n) per shard touched, never linear in the result size.
 	Ops int
+	// OldestSigTS is the oldest signature timestamp among the answer's
+	// records (the anchor for an empty answer) — the point from which a
+	// session with no summary history needs certified summaries. It is
+	// server-side bookkeeping for the per-client summary delta
+	// (QueryServer.SummariesTail), not part of the wire encoding: the
+	// records themselves carry their timestamps.
+	OldestSigTS int64
 }
 
 // VOSizeBytes reports the proof overhead shipped with the records. The

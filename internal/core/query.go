@@ -72,11 +72,18 @@ func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
 // queryStamped is Query plus, when stamped is set, the epoch stamp the
 // answer cache needs: the version of every shard the proof consulted,
 // read while the shard read locks are still held (so the stamp exactly
-// matches the data snapshot), and the summary-stream version read where
-// the summaries were sliced. Any update that could change this answer
+// matches the data snapshot). Any update that could change this answer
 // must take one of those write locks and bumps the corresponding epoch
 // there, so a stamp that is still current proves the cached answer is
-// too. Plain Query passes stamped=false and skips the stamp allocation.
+// too.
+//
+// A stamped answer carries NO summaries: it is the cacheable answer
+// core, and the serving layer attaches each client's summary delta
+// (SummariesTail) at response time. That keeps cached entries valid
+// across ρ-period closes — a summary can only affect an answered record
+// by way of an update, and updates already bump the shard epochs in the
+// stamp. Plain Query passes stamped=false: it attaches the full
+// summaries-since-oldest-signature list for in-process consumers.
 func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool) (*Answer, anscache.Stamp, error) {
 	if lo > hi {
 		return nil, anscache.Stamp{}, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
@@ -89,13 +96,12 @@ func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool) (*Answer, anscac
 		for j := loS; j <= hiS; j++ {
 			qs.shards[j].mu.RLock()
 		}
-		ans, sumEpoch, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi)
+		ans, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi, !stamped)
 		var stamp anscache.Stamp
 		if stamped && err == nil && ans != nil {
 			stamp = anscache.Stamp{
-				First:   loS,
-				Epochs:  make([]uint64, hiS-loS+1),
-				Summary: sumEpoch,
+				First:  loS,
+				Epochs: make([]uint64, hiS-loS+1),
 			}
 			for j := loS; j <= hiS; j++ {
 				stamp.Epochs[j-loS] = qs.epochs[j].Load()
@@ -128,9 +134,11 @@ type shardRun struct {
 // queryWindow builds the answer under the currently held shard locks,
 // or reports which direction the lock window must grow. A nil answer
 // with neither widen flag set never happens (domain edges resolve to
-// sentinels, not to widening). The second result is the summary-stream
-// epoch at the moment the answer's summaries were sliced.
-func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, uint64, bool, bool, error) {
+// sentinels, not to widening). attachSums selects the in-process
+// behavior of attaching every summary published since the oldest result
+// signature; the serving layer passes false and delta-syncs summaries
+// per client instead.
+func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64, attachSums bool) (*Answer, bool, bool, error) {
 	w := &window{qs: qs, loS: loS, hiS: hiS}
 	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
 	ans := &Answer{Chain: ca}
@@ -150,7 +158,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 		leftB, lok := w.pred(lo)
 		rightB, rok := w.succ(hi)
 		if w.widenLo || w.widenHi {
-			return nil, 0, w.widenLo, w.widenHi, nil
+			return nil, w.widenLo, w.widenHi, nil
 		}
 		var anchorEntry btree.Entry
 		switch {
@@ -159,11 +167,11 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 		case rok:
 			anchorEntry = rightB
 		default:
-			return nil, 0, false, false, fmt.Errorf("core: empty relation cannot prove emptiness")
+			return nil, false, false, fmt.Errorf("core: empty relation cannot prove emptiness")
 		}
 		rec, ok := qs.shards[qs.shardOf(anchorEntry.Key)].recs[anchorEntry.Key]
 		if !ok {
-			return nil, 0, false, false, fmt.Errorf("core: missing record body for key %d", anchorEntry.Key)
+			return nil, false, false, fmt.Errorf("core: missing record body for key %d", anchorEntry.Key)
 		}
 		la, ra := chain.MinRef, chain.MaxRef
 		if p, ok := w.pred(anchorEntry.Key); ok {
@@ -173,7 +181,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 			ra = entryRef(su)
 		}
 		if w.widenLo || w.widenHi {
-			return nil, 0, w.widenLo, w.widenHi, nil
+			return nil, w.widenLo, w.widenHi, nil
 		}
 		ca.Anchor = rec
 		ca.AnchorLeft, ca.Right = la, ra
@@ -187,7 +195,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 			ca.Right = entryRef(e)
 		}
 		if w.widenLo || w.widenHi {
-			return nil, 0, w.widenLo, w.widenHi, nil
+			return nil, w.widenLo, w.widenHi, nil
 		}
 		ca.Records = make([]*Record, 0, total)
 		for _, run := range runs {
@@ -195,7 +203,7 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 			for _, e := range run.entries {
 				rec, ok := sh.recs[e.Key]
 				if !ok {
-					return nil, 0, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
+					return nil, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
 				}
 				ca.Records = append(ca.Records, rec)
 				if oldestTS == -1 || rec.TS < oldestTS {
@@ -205,25 +213,27 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64) (*Answer, u
 		}
 		agg, ops, err := qs.aggregateRuns(runs, lo, hi, total)
 		if err != nil {
-			return nil, 0, false, false, err
+			return nil, false, false, err
 		}
 		ca.Agg = agg
 		ans.Ops = ops
 	}
+	ans.OldestSigTS = oldestTS
 
-	// Attach every summary published since the oldest result signature.
-	// Read while the shard locks are still held: updates to any answered
-	// record are serialized behind this query, so no summary marking one
-	// of them newer can have been published yet.
-	qs.sumMu.RLock()
-	i := sort.Search(len(qs.summaries), func(i int) bool {
-		return qs.summaries[i].TS >= oldestTS
-	})
-	n := len(qs.summaries)
-	ans.Summaries = qs.summaries[i:n:n]
-	sumEpoch := qs.sumEpoch.Load()
-	qs.sumMu.RUnlock()
-	return ans, sumEpoch, false, false, nil
+	if attachSums {
+		// Attach every summary published since the oldest result
+		// signature. Read while the shard locks are still held: updates to
+		// any answered record are serialized behind this query, so no
+		// summary marking one of them newer can have been published yet.
+		qs.sumMu.RLock()
+		i := sort.Search(len(qs.summaries), func(i int) bool {
+			return qs.summaries[i].TS >= oldestTS
+		})
+		n := len(qs.summaries)
+		ans.Summaries = qs.summaries[i:n:n]
+		qs.sumMu.RUnlock()
+	}
+	return ans, false, false, nil
 }
 
 // aggregateRuns builds the range aggregate: through the SigCache when
@@ -369,4 +379,38 @@ func (qs *QueryServer) SummariesSince(ts int64) []freshness.Summary {
 	i := sort.Search(len(qs.summaries), func(i int) bool { return qs.summaries[i].TS >= ts })
 	n := len(qs.summaries)
 	return qs.summaries[i:n:n]
+}
+
+// SummariesTail returns the per-client summary delta the serving layer
+// attaches to an answer: for a session that already holds certified
+// summaries through sinceSeq, exactly the ones published after it (the
+// checker's sequence-contiguity then holds by construction); for a cold
+// session (sinceSeq == 0), every summary published since the answer's
+// oldest result signature — the same list a plain Query attaches. Both
+// cuts are over the same sequence-ordered, timestamp-ordered stream, so
+// each is one binary search over an immutable suffix.
+//
+// When a warm session's delta would be empty, the stream's tip is
+// echoed instead. The duplicate costs one summary per answer, and buys
+// per-answer rollback evidence: the session cross-checks every re-sent
+// summary byte-for-byte against its held copy, so a server whose
+// certified stream rolled back (lost durable state, then re-certified
+// a different history under the same sequence numbers) is convicted of
+// authenticated divergence on the very next answer — not merely
+// flagged as stale by the freshness bound.
+func (qs *QueryServer) SummariesTail(sinceSeq uint64, oldestTS int64) []freshness.Summary {
+	qs.sumMu.RLock()
+	defer qs.sumMu.RUnlock()
+	sums := qs.summaries
+	var i int
+	if sinceSeq > 0 {
+		i = sort.Search(len(sums), func(i int) bool { return sums[i].Seq > sinceSeq })
+		if i == len(sums) && len(sums) > 0 {
+			i = len(sums) - 1 // empty delta: echo the tip
+		}
+	} else {
+		i = sort.Search(len(sums), func(i int) bool { return sums[i].TS >= oldestTS })
+	}
+	n := len(sums)
+	return sums[i:n:n]
 }

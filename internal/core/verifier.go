@@ -40,6 +40,18 @@ func (v *Verifier) SetParallelism(n int) {
 	}
 }
 
+// VerifyStats reports the scheme's verification fast-path counters
+// (hash-to-curve cache traffic, precomputation table builds) when the
+// scheme has a fast path, so callers can assert it is being exercised.
+// The counters are process-wide for the scheme instance, not scoped to
+// this Verifier.
+func (v *Verifier) VerifyStats() (sigagg.VerifyStats, bool) {
+	if sp, ok := v.scheme.(sigagg.VerifyStatsProvider); ok {
+		return sp.VerifyStats(), true
+	}
+	return sigagg.VerifyStats{}, false
+}
+
 // IngestSummary validates and stores one certified summary (from log-in
 // history or an answer).
 func (v *Verifier) IngestSummary(s freshness.Summary) error {

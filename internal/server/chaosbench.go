@@ -105,10 +105,10 @@ type ChaosReport struct {
 	TotalDetected int64 `json:"total_detected"`
 
 	// Invariants the run asserts; RunChaos fails loudly when violated.
-	AllAcceptedVerified bool   `json:"all_accepted_verified"`
-	FreshnessViolations int64  `json:"freshness_violations"`
-	DivergenceEvents    int64  `json:"divergence_events"`
-	OverloadShed        uint64 `json:"overload_shed"`
+	AllAcceptedVerified bool     `json:"all_accepted_verified"`
+	FreshnessViolations int64    `json:"freshness_violations"`
+	DivergenceEvents    int64    `json:"divergence_events"`
+	OverloadShed        uint64   `json:"overload_shed"`
 	ServerStats         NetStats `json:"server"`
 
 	SweepVerified      int  `json:"sweep_verified"`

@@ -125,6 +125,12 @@ type FleetReport struct {
 
 	Primary NetStats            `json:"primary"`
 	Source  replica.SourceStats `json:"source"`
+
+	// Verify holds the scheme's verification fast-path counters after
+	// the soak (nil for schemes without a fast path). The run fails if a
+	// fast-path scheme shows zero cache hits — the soak must prove the
+	// fast path is what it exercised.
+	Verify *sigagg.VerifyStats `json:"verify,omitempty"`
 }
 
 // fleetWindows is the soak script: each window pairs one availability
@@ -165,13 +171,13 @@ type fleetBench struct {
 	serveErr chan error
 	addr     string
 
-	honest []*fleetReplica
-	byzFl  *replica.Follower
-	byzSrv *NetServer
-	byzErr chan error
+	honest    []*fleetReplica
+	byzFl     *replica.Follower
+	byzSrv    *NetServer
+	byzErr    chan error
 	byzCancel context.CancelFunc
 	byzDone   chan struct{}
-	front  *byzFront
+	front     *byzFront
 
 	earlyState *core.ServerState // load-time image the rogue replica rolls back to
 
@@ -267,6 +273,16 @@ func RunFleetChaos(cfg FleetConfig) (*FleetReport, error) {
 	}
 	rep.Primary = b.srv.Stats()
 	rep.Source = b.src.Stats()
+	if sp, ok := b.cfg.Scheme.(sigagg.VerifyStatsProvider); ok {
+		vs := sp.VerifyStats()
+		rep.Verify = &vs
+		// The soak's whole point is heavy re-verification of a shared
+		// catalog across replicas; a fast-path scheme that saw no cache
+		// hits means the fast path was silently bypassed.
+		if vs.H2CCacheHits == 0 || vs.FastVerifies == 0 {
+			return nil, fmt.Errorf("server: verification fast path not exercised during fleet soak: %+v", vs)
+		}
+	}
 	rep.BootstrapsServed = rep.Source.Bootstraps
 	if want := uint64(cfg.Replicas + 2); rep.BootstrapsServed < want {
 		// every initial follower, the rogue one, and the churn restart
@@ -535,7 +551,7 @@ func (b *fleetBench) waitCaughtUp(fl *replica.Follower, d time.Duration) error {
 	}
 }
 
-func (b *fleetBench) byzAddr() string       { return b.front.Addr() }
+func (b *fleetBench) byzAddr() string         { return b.front.Addr() }
 func (b *fleetBench) honestAddr(i int) string { return b.honest[i%len(b.honest)].proxy.Addr() }
 
 // fleetAddrs is every client's replica set: honest proxies first (so
@@ -1089,11 +1105,12 @@ func (f *byzFront) serve(down net.Conn) {
 		if req, err = wire.ReadFrame(down, req, 0); err != nil {
 			return
 		}
+		key := replayKey(req)
 		f.mu.Lock()
 		mode := f.mode
 		var replayed []byte
 		if mode == byzReplay {
-			replayed = f.cache[string(req)]
+			replayed = f.cache[key]
 		}
 		f.mu.Unlock()
 		if replayed != nil {
@@ -1113,8 +1130,8 @@ func (f *byzFront) serve(down net.Conn) {
 		}
 		if mode == byzReplay {
 			f.mu.Lock()
-			if _, dup := f.cache[string(req)]; !dup {
-				f.cache[string(req)] = append([]byte(nil), resp...)
+			if _, dup := f.cache[key]; !dup {
+				f.cache[key] = append([]byte(nil), resp...)
 			}
 			f.mu.Unlock()
 		}
@@ -1122,6 +1139,18 @@ func (f *byzFront) serve(down net.Conn) {
 			return
 		}
 	}
+}
+
+// replayKey canonicalizes a request for the replay cache. Range
+// queries key by the queried range alone: the session's summary-delta
+// cursor (sinceSeq) varies between otherwise-identical probes, and a
+// real replayer answers the same question with yesterday's frame
+// regardless of what the asker claims to hold.
+func replayKey(req []byte) string {
+	if lo, hi, _, err := wire.DecodeQueryReq(req); err == nil {
+		return fmt.Sprintf("Q:%d:%d", lo, hi)
+	}
+	return string(req)
 }
 
 // mutate applies the mode's forgery to one response frame.

@@ -102,7 +102,7 @@ type NetServer struct {
 
 	wg  sync.WaitGroup
 	sem chan struct{} // MaxConns slots, nil when unlimited
-	adm *admission   // nil when MaxInflight is unlimited
+	adm *admission    // nil when MaxInflight is unlimited
 
 	repl ReplSource    // nil unless EnableReplication
 	stop chan struct{} // closed by Shutdown; terminates replication streams
@@ -312,14 +312,23 @@ const connWriterSize = 64 << 10
 // frame appends one length-prefixed frame to the batch, flushing when
 // the batch is full.
 func (w *connWriter) frame(payload []byte) error {
-	if len(w.buf) > 0 && len(w.buf)+len(payload)+4 > connWriterSize {
+	return w.frame2(payload, nil)
+}
+
+// frame2 appends one length-prefixed frame whose payload is the
+// concatenation of two buffers, without materializing the joined
+// payload anywhere: the cached answer-core bytes and the per-client
+// summary tail go under a single length header.
+func (w *connWriter) frame2(a, b []byte) error {
+	n := len(a) + len(b)
+	if len(w.buf) > 0 && len(w.buf)+n+4 > connWriterSize {
 		if err := w.flush(); err != nil {
 			return err
 		}
 	}
-	n := len(payload)
 	w.buf = append(w.buf, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
-	w.buf = append(w.buf, payload...)
+	w.buf = append(w.buf, a...)
+	w.buf = append(w.buf, b...)
 	if len(w.buf) >= connWriterSize {
 		return w.flush()
 	}
@@ -479,7 +488,7 @@ func (s *NetServer) serveReplication(w *connWriter, conn net.Conn, frame []byte)
 // reported to the peer as 'E' responses; only transport errors are
 // returned.
 func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
-	lo, hi, err := wire.DecodeQueryReq(frame)
+	lo, hi, sinceSeq, err := wire.DecodeQueryReq(frame)
 	if err != nil {
 		return s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
 	}
@@ -488,11 +497,18 @@ func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
 		return s.writeError(w, err)
 	}
 	s.queries.Add(1)
+	// The cache holds summary-free answer cores; each response carries
+	// only this client's summary delta (everything past sinceSeq, or the
+	// full tail covering the answer's oldest signature for a cold
+	// session). Core bytes + tail bytes form exactly one 'A' message.
+	tail := s.qs.SummariesTail(sinceSeq, sv.Answer.OldestSigTS)
+	tailBuf := wire.AppendSummaryTail(wire.GetBuffer(), tail)
 	if sv.Data != nil {
 		// Zero-copy: the cache entry's pooled encoding goes straight to
 		// the socket; Release after the write returns it to the pool
 		// once the last reader is done.
-		werr := w.frame(sv.Data)
+		werr := w.frame2(sv.Data, tailBuf)
+		wire.PutBuffer(tailBuf)
 		sv.Release()
 		return werr
 	}
@@ -501,11 +517,13 @@ func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
 	// this path puts exactly the successful encoding, exactly once.
 	data, err := s.codec.Encode(sv.Answer)
 	if err != nil {
+		wire.PutBuffer(tailBuf)
 		sv.Release()
 		return s.writeError(w, err)
 	}
-	werr := w.frame(data)
+	werr := w.frame2(data, tailBuf)
 	s.codec.Free(data)
+	wire.PutBuffer(tailBuf)
 	sv.Release()
 	return werr
 }

@@ -107,6 +107,11 @@ type NetReport struct {
 	SweepVerified      int  `json:"sweep_verified"`
 	StaleDetected      int  `json:"sweep_stale_detected"`
 	CorrectnessChecked bool `json:"correctness_checked"`
+
+	// Verify holds the scheme's verification fast-path counters after
+	// the run (nil for schemes without a fast path): proof that the
+	// measured qps actually exercised the precomputed path.
+	Verify *sigagg.VerifyStats `json:"verify,omitempty"`
 }
 
 // netBench owns the system under test for one RunNet.
@@ -119,12 +124,15 @@ type netBench struct {
 	updateTS int64
 }
 
-// clientConfig is the session config every benchmark client uses.
+// clientConfig is the session config every benchmark client uses. Each
+// client verifies on one worker, so the client-count sweep is also the
+// per-core verification scaling sweep.
 func (b *netBench) clientConfig() client.Config {
 	return client.Config{
-		Scheme:      b.sys.Scheme,
-		Pub:         b.sys.Pub,
-		DialTimeout: 5 * time.Second,
+		Scheme:        b.sys.Scheme,
+		Pub:           b.sys.Pub,
+		DialTimeout:   5 * time.Second,
+		VerifyWorkers: 1,
 	}
 }
 
@@ -225,6 +233,12 @@ func RunNet(cfg NetBenchConfig) (*NetReport, error) {
 			verified, stale)
 	}
 	rep.Server = b.srv.Stats()
+	if sp, ok := cfg.Scheme.(sigagg.VerifyStatsProvider); ok {
+		vs := sp.VerifyStats()
+		rep.Verify = &vs
+		fmt.Printf("net: verify fast path: %d h2c cache hits / %d misses, %d agg hits, %d table builds\n",
+			vs.H2CCacheHits, vs.H2CCacheMisses, vs.AggCacheHits, vs.TableBuilds)
+	}
 	fmt.Printf("net: peak %.0f qps over TCP loopback; server sent %d MiB across %d conns\n",
 		rep.MaxQPS, rep.Server.BytesOut>>20, rep.Server.Conns)
 	return rep, nil

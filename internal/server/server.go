@@ -26,11 +26,18 @@ import (
 // returned immediately — Encode owns the buffer until it succeeds, so
 // no error path can leak it or double-put it (callers Free exactly the
 // successful results).
+//
+// The codec encodes the ANSWER CORE only (wire.AppendAnswerCore): the
+// bytes depend on nothing but the answered records, so cached entries
+// survive ρ-period closes. The network front end appends each client's
+// summary delta (wire.AppendSummaryTail) when it writes the response
+// frame; core bytes plus tail bytes form exactly the 'A' message
+// clients decode.
 func Codec() core.AnswerCodec {
 	return core.AnswerCodec{
 		Encode: func(a *core.Answer) ([]byte, error) {
 			buf := wire.GetBuffer()
-			out, err := wire.AppendAnswer(buf, a)
+			out, err := wire.AppendAnswerCore(buf, a)
 			if err != nil {
 				wire.PutBuffer(buf)
 				return nil, err
@@ -432,8 +439,13 @@ func (b *bench) checkCorrectness() error {
 		if err != nil {
 			return nil, fmt.Errorf("server: %s serve [%d,%d]: %w", phase, q.Lo, q.Hi, err)
 		}
-		// Verify what a client would actually consume: the wire bytes.
-		dec, err := wire.DecodeAnswer(sv.Data)
+		// Verify what a client would actually consume: the cached core
+		// bytes plus the summary tail the network front end appends per
+		// response (sinceSeq=0 = the full tail a cold client gets).
+		full := append(wire.GetBuffer(), sv.Data...)
+		full = wire.AppendSummaryTail(full, qs.SummariesTail(0, sv.Answer.OldestSigTS))
+		dec, err := wire.DecodeAnswer(full)
+		wire.PutBuffer(full)
 		sv.Release()
 		if err != nil {
 			return nil, fmt.Errorf("server: %s decode [%d,%d]: %w", phase, q.Lo, q.Hi, err)

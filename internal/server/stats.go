@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"authdb/internal/sigagg"
 	"authdb/internal/wal"
 )
 
@@ -71,6 +72,31 @@ func (s *NetServer) Metrics(m *MetricsBuf) {
 	m.Counter("authdb_sigcache_hits_total", "Cached signature aggregates used by queries.", sv.Sig.Hits)
 	m.Counter("authdb_sigcache_query_ops_total", "Aggregation ops spent building query aggregates.", sv.Sig.QueryOps)
 	m.Counter("authdb_sigcache_refresh_ops_total", "Aggregation ops spent refreshing cached aggregates.", sv.Sig.RefreshOps)
+}
+
+// VerifyMetrics adapts a scheme's verification fast-path counters for a
+// scrape: hash-to-curve cache traffic, aggregate-decode cache traffic,
+// and precomputation table builds. Emits nothing for schemes without a
+// fast path. On a serving process the counters reflect its own scheme
+// use (summary signing, proof aggregation); on anything embedding a
+// verifier they are the direct "is the fast path exercised" signal
+// fleet soaks assert on.
+func VerifyMetrics(scheme sigagg.Scheme) MetricFn {
+	return func(m *MetricsBuf) {
+		sp, ok := scheme.(sigagg.VerifyStatsProvider)
+		if !ok {
+			return
+		}
+		vs := sp.VerifyStats()
+		m.Counter("authdb_verify_h2c_cache_hits_total", "Hash-to-curve lookups served from the digest point cache.", vs.H2CCacheHits)
+		m.Counter("authdb_verify_h2c_cache_misses_total", "Hash-to-curve lookups computed with the full try-and-increment map.", vs.H2CCacheMisses)
+		m.Counter("authdb_verify_agg_cache_hits_total", "Aggregate-signature decodes served from cache.", vs.AggCacheHits)
+		m.Counter("authdb_verify_agg_cache_misses_total", "Aggregate-signature decodes paid in full.", vs.AggCacheMisses)
+		m.Counter("authdb_verify_cache_evictions_total", "Cached curve points dropped by the size bound.", vs.CacheEvictions)
+		m.Counter("authdb_verify_table_builds_total", "Per-public-key precomputation tables built.", vs.TableBuilds)
+		m.Counter("authdb_verify_fast_total", "Verification calls on the precomputed fast path.", vs.FastVerifies)
+		m.Counter("authdb_verify_portable_total", "Verification calls on the portable slow path.", vs.PortableVerifies)
+	}
 }
 
 // WalMetrics adapts a durable store's log positions for a scrape.

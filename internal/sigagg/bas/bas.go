@@ -29,11 +29,11 @@ package bas
 import (
 	"crypto/elliptic"
 	"crypto/rand"
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"authdb/internal/sigagg"
 )
@@ -48,12 +48,63 @@ const DefaultPairingCost = 12
 type Scheme struct {
 	curve       elliptic.Curve
 	pairingCost int
+
+	// Verification fast path state (see fastpath.go). portable routes
+	// verification through the historical affine path instead.
+	portable bool
+	cache    *pointCache
+	tables   *tableCache
+	scratch  sync.Pool
+
+	fastVerifies     atomic.Uint64
+	portableVerifies atomic.Uint64
 }
+
+// Option configures a Scheme.
+type Option func(*options)
+
+type options struct {
+	portable     bool
+	cacheEntries int
+}
+
+// WithPortableVerify routes verification through the portable slow
+// path — affine curve.Add accumulation, per-call hash-to-curve, no
+// caches or precomputation tables. It is the cross-check oracle for the
+// fast path: both produce identical accept/reject decisions and
+// byte-identical signatures.
+func WithPortableVerify() Option {
+	return func(o *options) { o.portable = true }
+}
+
+// WithCacheEntries bounds the digest→point / aggregate-decode cache
+// (default defaultCacheEntries). Values < cacheShards·8 are clamped.
+func WithCacheEntries(n int) Option {
+	return func(o *options) { o.cacheEntries = n }
+}
+
+// defaultCacheEntries bounds the point cache at roughly 16 MB: enough
+// for the full digest working set of the committed benchmarks with room
+// to spare, small enough to be irrelevant next to the catalog itself.
+const defaultCacheEntries = 1 << 16
 
 // New returns a BAS scheme whose emulated pairing burns pairingCost
 // scalar multiplications. Use 0 for raw-speed functional testing.
-func New(pairingCost int) *Scheme {
-	return &Scheme{curve: elliptic.P256(), pairingCost: pairingCost}
+func New(pairingCost int, opts ...Option) *Scheme {
+	o := options{cacheEntries: defaultCacheEntries}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	s := &Scheme{
+		curve:       elliptic.P256(),
+		pairingCost: pairingCost,
+		portable:    o.portable,
+		cache:       newPointCache(o.cacheEntries),
+		tables:      newTableCache(),
+	}
+	p := s.curve.Params().P
+	s.scratch.New = func() any { return newVerifyScratch(p) }
+	return s
 }
 
 func init() {
@@ -115,32 +166,14 @@ func (s *Scheme) KeyGen(rnd io.Reader) (sigagg.PrivateKey, sigagg.PublicKey, err
 // Jacobi-symbol pre-filter before the ModSqrt was measured and
 // rejected: for p ≡ 3 mod 4 the sqrt is one fast Exp, cheaper than
 // big.Jacobi's allocation-heavy binary GCD.)
+//
+// This one-shot form allocates fresh results; the hot paths go through
+// hashToCurveScratch (same candidate derivation, reused temporaries) or
+// hashToCurveCached (adds the digest→point cache). See h2c.go.
 func (s *Scheme) hashToCurve(digest []byte) (x, y *big.Int) {
-	params := s.curve.Params()
-	p := params.P
-	three := big.NewInt(3)
-	for ctr := uint32(0); ; ctr++ {
-		h := sha256.New()
-		h.Write([]byte("bas-h2c"))
-		h.Write(digest)
-		var cb [4]byte
-		binary.BigEndian.PutUint32(cb[:], ctr)
-		h.Write(cb[:])
-		cand := new(big.Int).SetBytes(h.Sum(nil))
-		cand.Mod(cand, p)
-		// rhs = x^3 - 3x + b mod p
-		rhs := new(big.Int).Exp(cand, three, p)
-		tmp := new(big.Int).Lsh(cand, 1)
-		tmp.Add(tmp, cand) // 3x
-		rhs.Sub(rhs, tmp)
-		rhs.Add(rhs, params.B)
-		rhs.Mod(rhs, p)
-		yy := new(big.Int).ModSqrt(rhs, p)
-		if yy == nil {
-			continue
-		}
-		return cand, yy
-	}
+	var sc h2cScratch
+	hx, hy := s.hashToCurveScratch(&sc, digest)
+	return new(big.Int).Set(hx), new(big.Int).Set(hy)
 }
 
 func (s *Scheme) priv(k sigagg.PrivateKey) (*PrivateKey, error) {
@@ -208,12 +241,19 @@ func (s *Scheme) addPoints(ax, ay, bx, by *big.Int) (*big.Int, *big.Int) {
 }
 
 // Sign implements sigagg.Scheme: sig = x·H(digest).
+//
+// Signing deliberately bypasses the digest→point cache: the cache
+// exists for the verifier's benefit, and a signer warming it would let
+// an in-process benchmark's "cold verification" numbers silently ride
+// on signing-time work.
 func (s *Scheme) Sign(priv sigagg.PrivateKey, digest []byte) (sigagg.Signature, error) {
 	p, err := s.priv(priv)
 	if err != nil {
 		return nil, err
 	}
-	hx, hy := s.hashToCurve(digest)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	hx, hy := s.hashToCurveScratch(&sc.h2c, digest)
 	sx, sy := s.curve.ScalarMult(hx, hy, p.x.Bytes())
 	return s.encode(sx, sy), nil
 }
@@ -233,8 +273,10 @@ func (s *Scheme) SignBatch(priv sigagg.PrivateKey, digests [][]byte) ([]sigagg.S
 	size := s.SignatureSize()
 	out := make([]sigagg.Signature, len(digests))
 	backing := make([]byte, len(digests)*size)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	for i, d := range digests {
-		hx, hy := s.hashToCurve(d)
+		hx, hy := s.hashToCurveScratch(&sc.h2c, d)
 		sx, sy := s.curve.ScalarMult(hx, hy, xb)
 		out[i] = s.encodeInto(backing[i*size:(i+1)*size:(i+1)*size], sx, sy)
 	}
@@ -260,18 +302,26 @@ func (s *Scheme) Aggregate(sigs []sigagg.Signature) (sigagg.Signature, error) {
 }
 
 // AggregateInto implements sigagg.BatchAggregator: each input is decoded
-// once, summed, and the result is encoded once into dst (reused when it
-// has capacity), instead of the decode/encode round-trip per pair that a
-// chain of Add calls performs.
+// once, summed in Jacobian coordinates (one inversion for the whole sum
+// instead of crypto/elliptic's per-Add affine round-trip), and the
+// result is encoded once into dst (reused when it has capacity). Inputs
+// are decoded without the point cache: proof construction sweeps huge
+// leaf-signature sets that would thrash a cache sized for the verifier's
+// answer working set.
 func (s *Scheme) AggregateInto(dst sigagg.Signature, sigs []sigagg.Signature) (sigagg.Signature, error) {
-	var ax, ay *big.Int
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	sc.agg.setInfinity()
 	for _, sig := range sigs {
 		px, py, err := s.decode(sig)
 		if err != nil {
 			return nil, err
 		}
-		ax, ay = s.addPoints(ax, ay, px, py)
+		if px != nil {
+			sc.agg.mixedAdd(&sc.fp, px, py)
+		}
 	}
+	ax, ay := sc.agg.toAffine(&sc.fp)
 	return s.encodeInto(dst, ax, ay), nil
 }
 
@@ -294,18 +344,27 @@ func (s *Scheme) encodeInto(dst sigagg.Signature, x, y *big.Int) sigagg.Signatur
 	return dst
 }
 
-// Add implements sigagg.Scheme.
+// Add implements sigagg.Scheme. Operands decode through the aggregate
+// point cache and the result is inserted under its own encoding: the
+// aggregation tree rebuilds bottom-up, so a parent's operands are
+// exactly the sums this method just produced one level down, and the
+// whole rebuild pays ModSqrt only for leaves it has never seen.
 func (s *Scheme) Add(agg, sig sigagg.Signature) (sigagg.Signature, error) {
-	ax, ay, err := s.decode(agg)
+	ax, ay, err := s.decodeCached(agg)
 	if err != nil {
 		return nil, err
 	}
-	px, py, err := s.decode(sig)
+	px, py, err := s.decodeCached(sig)
 	if err != nil {
 		return nil, err
 	}
 	rx, ry := s.addPoints(ax, ay, px, py)
-	return s.encode(rx, ry), nil
+	out := s.encode(rx, ry)
+	if rx != nil && !s.isIdentity(out) {
+		k := aggKey(out)
+		s.cache.put(&k, cachedPoint{x: rx, y: ry})
+	}
+	return out, nil
 }
 
 // Remove implements sigagg.Scheme: agg + (-sig).
@@ -348,12 +407,27 @@ func (s *Scheme) emulatePairing() {
 
 // AggregateVerify implements sigagg.Scheme. Real BAS evaluates t+1
 // pairings for t digests; we charge the emulated pairing cost t+1 times
-// and check the trapdoor relation agg == x·Σ H(digest_i).
+// and check the trapdoor relation agg == x·Σ H(digest_i). Verification
+// dispatches to the precomputed fast path (fastpath.go) unless the
+// scheme was built WithPortableVerify.
 func (s *Scheme) AggregateVerify(pub sigagg.PublicKey, digests [][]byte, agg sigagg.Signature) error {
 	p, err := s.pub(pub)
 	if err != nil {
 		return err
 	}
+	if !s.portable {
+		s.fastVerifies.Add(1)
+		_, ok, err := s.verifyJobsFast(p, []sigagg.VerifyJob{{Digests: digests, Agg: agg}})
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: BAS mismatch over %d digests",
+				sigagg.ErrVerify, len(digests))
+		}
+		return nil
+	}
+	s.portableVerifies.Add(1)
 	ax, ay, err := s.decode(agg)
 	if err != nil {
 		return err
@@ -391,6 +465,19 @@ func (s *Scheme) VerifyJobs(pub sigagg.PublicKey, jobs []sigagg.VerifyJob) error
 	if err != nil {
 		return err
 	}
+	if !s.portable {
+		s.fastVerifies.Add(1)
+		total, ok, err := s.verifyJobsFast(p, jobs)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: BAS batch mismatch over %d jobs (%d digests)",
+				sigagg.ErrVerify, len(jobs), total)
+		}
+		return nil
+	}
+	s.portableVerifies.Add(1)
 	var ax, ay *big.Int // sum of the aggregates
 	var hx, hy *big.Int // sum of the hashed digests
 	total := 0
@@ -417,6 +504,21 @@ func (s *Scheme) VerifyJobs(pub sigagg.PublicKey, jobs []sigagg.VerifyJob) error
 			sigagg.ErrVerify, len(jobs), total)
 	}
 	return nil
+}
+
+// VerifyStats implements sigagg.VerifyStatsProvider: the fast path's
+// cache and precomputation counters, process-wide for this instance.
+func (s *Scheme) VerifyStats() sigagg.VerifyStats {
+	return sigagg.VerifyStats{
+		H2CCacheHits:     s.cache.h2cHits.Load(),
+		H2CCacheMisses:   s.cache.h2cMisses.Load(),
+		AggCacheHits:     s.cache.aggHits.Load(),
+		AggCacheMisses:   s.cache.aggMisses.Load(),
+		CacheEvictions:   s.cache.evictions.Load(),
+		TableBuilds:      s.tables.buildCount(),
+		FastVerifies:     s.fastVerifies.Load(),
+		PortableVerifies: s.portableVerifies.Load(),
+	}
 }
 
 func pointsEqual(ax, ay, bx, by *big.Int) bool {

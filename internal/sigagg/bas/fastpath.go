@@ -1,0 +1,348 @@
+package bas
+
+import (
+	"bytes"
+	"crypto/elliptic"
+	"fmt"
+	"io"
+	"math/big"
+
+	"authdb/internal/sigagg"
+)
+
+// The verification fast path. The trapdoor relation is linear —
+// Σ agg_i == x · Σ_ij H(d_ij) — so a batch reduces to summing points
+// and one closing scalar multiplication. The slow path paid, per point,
+// an affine curve.Add (marshal/unmarshal churn in the nistec backend)
+// and per digest a full try-and-increment map; here the sums run in
+// Jacobian coordinates with cached H(d) points and cached aggregate
+// decodes, digests repeated inside a batch are folded by multiplicity
+// with a Pippenger-style bucket accumulation instead of re-added, and
+// the closing multiplication uses the per-key precomputation table.
+// The emulated pairing cost is still charged once per digest plus once
+// per job, exactly as the portable path does, so the simulated Table 3
+// cost shape is unchanged when pairingCost > 0.
+
+// verifyScratch is the per-call working state, pooled on the Scheme.
+type verifyScratch struct {
+	h2c     h2cScratch
+	fp      fp
+	agg     jacPoint // Σ aggregates
+	hs      jacPoint // Σ hashed digests, multiplicity-weighted
+	run     jacPoint // bucket suffix-sum accumulators
+	idx     map[cacheKey]int32
+	ents    []digestEntry
+	buckets []jacPoint
+}
+
+// digestEntry is one unique digest in a batch and how many times the
+// batch references it. The digest bytes are borrowed from the caller's
+// jobs and never retained past the call.
+type digestEntry struct {
+	d     []byte
+	count int32
+}
+
+func (s *Scheme) getScratch() *verifyScratch {
+	sc := s.scratch.Get().(*verifyScratch)
+	return sc
+}
+
+func (s *Scheme) putScratch(sc *verifyScratch) { s.scratch.Put(sc) }
+
+func newVerifyScratch(p *big.Int) *verifyScratch {
+	return &verifyScratch{
+		fp:  fp{p: p},
+		idx: make(map[cacheKey]int32),
+	}
+}
+
+// decodeCached decodes a compressed signature point through the
+// aggregate cache: a cache hit skips the modular square root inside
+// UnmarshalCompressed. Only valid curve points are ever cached.
+func (s *Scheme) decodeCached(sig sigagg.Signature) (x, y *big.Int, err error) {
+	if len(sig) != s.SignatureSize() {
+		return nil, nil, fmt.Errorf("%w: length %d, want %d",
+			sigagg.ErrBadSignature, len(sig), s.SignatureSize())
+	}
+	if s.isIdentity(sig) {
+		return nil, nil, nil // point at infinity
+	}
+	k := aggKey(sig)
+	if pt, ok := s.cache.get(&k); ok {
+		s.cache.aggHits.Add(1)
+		return pt.x, pt.y, nil
+	}
+	s.cache.aggMisses.Add(1)
+	x, y = elliptic.UnmarshalCompressed(s.curve, sig)
+	if x == nil {
+		return nil, nil, fmt.Errorf("%w: not a curve point", sigagg.ErrBadSignature)
+	}
+	s.cache.put(&k, cachedPoint{x: x, y: y})
+	return x, y, nil
+}
+
+// verifyJobsFast checks Σ agg_i == x·Σ_ij H(d_ij) for the whole batch.
+// It returns the total digest count and whether the relation held;
+// callers attribute the failure (the relation has set semantics — see
+// BatchVerifier — so per-job blame needs a re-verify).
+func (s *Scheme) verifyJobsFast(p *PublicKey, jobs []sigagg.VerifyJob) (total int, ok bool, err error) {
+	tbl := s.tables.tableFor(p)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+
+	sc.agg.setInfinity()
+	clear(sc.idx)
+	sc.ents = sc.ents[:0]
+
+	// Pass 1: fold the aggregates, count digest multiplicities, charge
+	// the emulated pairings.
+	for _, j := range jobs {
+		jx, jy, derr := s.decodeCached(j.Agg)
+		if derr != nil {
+			return 0, false, derr
+		}
+		if jx != nil {
+			sc.agg.mixedAdd(&sc.fp, jx, jy)
+		}
+		for _, d := range j.Digests {
+			k := digestKey(d)
+			if i, dup := sc.idx[k]; dup {
+				sc.ents[i].count++
+			} else {
+				sc.idx[k] = int32(len(sc.ents))
+				sc.ents = append(sc.ents, digestEntry{d: d, count: 1})
+			}
+			s.emulatePairing()
+			total++
+		}
+		s.emulatePairing() // the e(agg_i, g2) side of job i
+	}
+
+	// Pass 2: Σ count·H(d) by multiplicity buckets. Each unique digest
+	// is hashed-to-curve once (usually a cache hit) and mixed-added into
+	// the bucket for its multiplicity; the buckets then combine with the
+	// standard suffix-sum so a digest shared by c jobs costs one add,
+	// not c.
+	maxCount := int32(0)
+	for i := range sc.ents {
+		if sc.ents[i].count > maxCount {
+			maxCount = sc.ents[i].count
+		}
+	}
+	for len(sc.buckets) < int(maxCount) {
+		sc.buckets = append(sc.buckets, jacPoint{})
+	}
+	for i := int32(0); i < maxCount; i++ {
+		sc.buckets[i].setInfinity()
+	}
+	for i := range sc.ents {
+		e := &sc.ents[i]
+		hx, hy := s.hashToCurveCached(&sc.h2c, e.d)
+		sc.buckets[e.count-1].mixedAdd(&sc.fp, hx, hy)
+	}
+	sc.hs.setInfinity()
+	sc.run.setInfinity()
+	for c := maxCount; c >= 1; c-- {
+		sc.run.addJac(&sc.fp, &sc.buckets[c-1])
+		sc.hs.addJac(&sc.fp, &sc.run)
+	}
+
+	// Closing multiplication and comparison. One inversion normalizes
+	// the digest sum for the (assembly-backed) scalar multiplication;
+	// the aggregate sum is compared in place, saving the second
+	// inversion.
+	hx, hy := sc.hs.toAffine(&sc.fp)
+	if hx == nil {
+		return total, sc.agg.isInfinity(), nil
+	}
+	ex, ey := s.curve.ScalarMult(hx, hy, tbl.xBytes)
+	return total, sc.agg.equalsAffine(&sc.fp, ex, ey), nil
+}
+
+// SelfTest exercises the fast-path machinery against independent
+// implementations and reports the first disagreement: Jacobian
+// add/double/mixed-add against crypto/elliptic's affine formulas, w-NAF
+// recoding + multiplication against curve.ScalarMult (including the
+// edge scalars 0, 1, n−1 and the point at infinity), and fast-path
+// verification against the portable path on valid and tampered inputs.
+// It is cheap enough to run at startup or in CI (-check) as the
+// equivalence oracle.
+func (s *Scheme) SelfTest(rnd io.Reader, iters int) error {
+	if iters <= 0 {
+		iters = 8
+	}
+	params := s.curve.Params()
+	f := &fp{p: params.P}
+	randScalar := func() (*big.Int, error) {
+		buf := make([]byte, 32)
+		if _, err := io.ReadFull(rnd, buf); err != nil {
+			return nil, fmt.Errorf("bas: selftest entropy: %w", err)
+		}
+		k := new(big.Int).SetBytes(buf)
+		k.Mod(k, params.N)
+		return k, nil
+	}
+	randPoint := func() (*big.Int, *big.Int, error) {
+		for {
+			k, err := randScalar()
+			if err != nil {
+				return nil, nil, err
+			}
+			if k.Sign() == 0 {
+				continue
+			}
+			x, y := s.curve.ScalarBaseMult(k.Bytes())
+			return x, y, nil
+		}
+	}
+
+	// 1. Jacobian arithmetic vs crypto/elliptic.
+	for i := 0; i < iters; i++ {
+		ax, ay, err := randPoint()
+		if err != nil {
+			return err
+		}
+		bx, by, err := randPoint()
+		if err != nil {
+			return err
+		}
+		var j jacPoint
+		j.setAffine(ax, ay)
+		j.mixedAdd(f, bx, by)
+		wx, wy := s.curve.Add(ax, ay, bx, by)
+		if !j.equalsAffine(f, wx, wy) {
+			return fmt.Errorf("bas: selftest: jacobian mixed add diverges from curve.Add")
+		}
+		j.setAffine(ax, ay)
+		j.double(f)
+		wx, wy = s.curve.Double(ax, ay)
+		if !j.equalsAffine(f, wx, wy) {
+			return fmt.Errorf("bas: selftest: jacobian double diverges from curve.Double")
+		}
+		// P + P via mixed add must match doubling.
+		j.setAffine(ax, ay)
+		j.mixedAdd(f, ax, ay)
+		if !j.equalsAffine(f, wx, wy) {
+			return fmt.Errorf("bas: selftest: jacobian P+P diverges from curve.Double")
+		}
+		// P + (-P) must be infinity.
+		negY := new(big.Int).Sub(params.P, ay)
+		j.setAffine(ax, ay)
+		j.mixedAdd(f, ax, negY)
+		if !j.isInfinity() {
+			return fmt.Errorf("bas: selftest: jacobian P+(-P) not infinity")
+		}
+	}
+
+	// 2. w-NAF multiplication vs curve.ScalarMult.
+	scalars := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(params.N, big.NewInt(1)),
+	}
+	for i := 0; i < iters; i++ {
+		k, err := randScalar()
+		if err != nil {
+			return err
+		}
+		scalars = append(scalars, k)
+	}
+	px, py, err := randPoint()
+	if err != nil {
+		return err
+	}
+	for _, k := range scalars {
+		naf := wnafRecode(k, wnafWindow)
+		var j jacPoint
+		wnafMul(f, &j, naf, px, py)
+		if k.Sign() == 0 {
+			if !j.isInfinity() {
+				return fmt.Errorf("bas: selftest: wnaf 0·P not infinity")
+			}
+			continue
+		}
+		wx, wy := s.curve.ScalarMult(px, py, k.Bytes())
+		if !j.equalsAffine(f, wx, wy) {
+			return fmt.Errorf("bas: selftest: wnaf mul diverges from curve.ScalarMult for scalar %v-bit", k.BitLen())
+		}
+		// Point-at-infinity operand.
+		wnafMul(f, &j, naf, nil, nil)
+		if !j.isInfinity() {
+			return fmt.Errorf("bas: selftest: wnaf k·∞ not infinity")
+		}
+	}
+
+	// 3. Fast vs portable verification, valid and tampered, and
+	// byte-identical signatures across both schemes.
+	portable := New(0, WithPortableVerify())
+	priv, pubk, err := s.KeyGen(rnd)
+	if err != nil {
+		return err
+	}
+	digests := make([][]byte, 6)
+	for i := range digests {
+		digests[i] = []byte(fmt.Sprintf("selftest-digest-%d-aaaaaaaaaaaaaa", i))
+	}
+	sigsFast, err := s.SignBatch(priv, digests)
+	if err != nil {
+		return err
+	}
+	sigsPort, err := portable.SignBatch(priv, digests)
+	if err != nil {
+		return err
+	}
+	for i := range sigsFast {
+		if !bytes.Equal(sigsFast[i], sigsPort[i]) {
+			return fmt.Errorf("bas: selftest: signature %d differs between fast and portable schemes", i)
+		}
+		one, err := s.Sign(priv, digests[i])
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(sigsFast[i], one) {
+			return fmt.Errorf("bas: selftest: SignBatch and Sign disagree on digest %d", i)
+		}
+	}
+	agg, err := s.Aggregate(sigsFast)
+	if err != nil {
+		return err
+	}
+	jobs := []sigagg.VerifyJob{
+		{Digests: digests[:3], Agg: mustAgg(s, sigsFast[:3])},
+		{Digests: digests[3:], Agg: mustAgg(s, sigsFast[3:])},
+		{Digests: digests, Agg: agg}, // duplicates digests across jobs
+	}
+	if err := s.VerifyJobs(pubk, jobs); err != nil {
+		return fmt.Errorf("bas: selftest: fast path rejected valid batch: %w", err)
+	}
+	if err := portable.VerifyJobs(pubk, jobs); err != nil {
+		return fmt.Errorf("bas: selftest: portable path rejected valid batch: %w", err)
+	}
+	// Tamper: flip a bit in one aggregate; both paths must reject.
+	bad := agg.Clone()
+	bad[5] ^= 0x40
+	badJobs := []sigagg.VerifyJob{{Digests: digests, Agg: bad}}
+	fastErr := s.VerifyJobs(pubk, badJobs)
+	portErr := portable.VerifyJobs(pubk, badJobs)
+	if (fastErr == nil) != (portErr == nil) {
+		return fmt.Errorf("bas: selftest: fast/portable disagree on tampered aggregate (fast=%v portable=%v)", fastErr, portErr)
+	}
+	if fastErr == nil {
+		return fmt.Errorf("bas: selftest: tampered aggregate accepted")
+	}
+	// Tamper: drop a digest.
+	shortJobs := []sigagg.VerifyJob{{Digests: digests[:5], Agg: agg}}
+	if s.VerifyJobs(pubk, shortJobs) == nil || portable.VerifyJobs(pubk, shortJobs) == nil {
+		return fmt.Errorf("bas: selftest: aggregate over missing digest accepted")
+	}
+	return nil
+}
+
+func mustAgg(s *Scheme, sigs []sigagg.Signature) sigagg.Signature {
+	a, err := s.Aggregate(sigs)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,567 @@
+package bas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"authdb/internal/sigagg"
+)
+
+// detRand is a deterministic io.Reader for reproducible key material.
+type detRand struct{ r *rand.Rand }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newDetRand(seed int64) *detRand { return &detRand{r: rand.New(rand.NewSource(seed))} }
+
+func testDigests(n int, seed byte) [][]byte {
+	ds := make([][]byte, n)
+	for i := range ds {
+		h := sha256.Sum256([]byte{seed, byte(i), byte(i >> 8)})
+		d := make([]byte, 32)
+		copy(d, h[:])
+		ds[i] = d
+	}
+	return ds
+}
+
+// TestSelfTest runs the package's own equivalence oracle — the same
+// check CI's `authbench verify -check` runs.
+func TestSelfTest(t *testing.T) {
+	if err := New(0).SelfTest(newDetRand(1), 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJacobianMatchesCurve drives the Jacobian formulas through random
+// add/double chains and checks every intermediate against
+// crypto/elliptic's affine arithmetic.
+func TestJacobianMatchesCurve(t *testing.T) {
+	s := New(0)
+	f := &fp{p: s.curve.Params().P}
+	rnd := newDetRand(2)
+	// Random walk: start at k·G, repeatedly either double or add a
+	// fresh random point, comparing after every step.
+	kx, ky := s.curve.ScalarBaseMult([]byte{7})
+	var j jacPoint
+	j.setAffine(kx, ky)
+	for step := 0; step < 60; step++ {
+		if step%3 == 2 {
+			j.double(f)
+			kx, ky = s.curve.Double(kx, ky)
+		} else {
+			var buf [32]byte
+			rnd.Read(buf[:])
+			px, py := s.curve.ScalarBaseMult(buf[:])
+			j.mixedAdd(f, px, py)
+			kx, ky = s.curve.Add(kx, ky, px, py)
+		}
+		if !j.equalsAffine(f, kx, ky) {
+			t.Fatalf("step %d: jacobian walk diverged from crypto/elliptic", step)
+		}
+		ax, ay := j.toAffine(f)
+		if ax.Cmp(kx) != 0 || ay.Cmp(ky) != 0 {
+			t.Fatalf("step %d: toAffine disagrees with equalsAffine", step)
+		}
+	}
+}
+
+// TestJacobianFullAddMatchesCurve covers addJac (Jacobian + Jacobian),
+// including doubling and cancellation cases.
+func TestJacobianFullAddMatchesCurve(t *testing.T) {
+	s := New(0)
+	params := s.curve.Params()
+	f := &fp{p: params.P}
+	ax, ay := s.curve.ScalarBaseMult([]byte{5})
+	bx, by := s.curve.ScalarBaseMult([]byte{9})
+
+	// Give both operands non-trivial Z by doubling Jacobian-side.
+	var a, b jacPoint
+	a.setAffine(ax, ay)
+	a.double(f)
+	b.setAffine(bx, by)
+	b.double(f)
+	dax, day := s.curve.Double(ax, ay)
+	dbx, dby := s.curve.Double(bx, by)
+	wantX, wantY := s.curve.Add(dax, day, dbx, dby)
+	a.addJac(f, &b)
+	if !a.equalsAffine(f, wantX, wantY) {
+		t.Fatal("addJac diverges from curve.Add")
+	}
+
+	// Same point: addJac must double.
+	a.setAffine(ax, ay)
+	a.double(f)
+	b.set(&a)
+	a.addJac(f, &b)
+	qx, qy := s.curve.Double(dax, day)
+	if !a.equalsAffine(f, qx, qy) {
+		t.Fatal("addJac same-point case diverges from curve.Double")
+	}
+
+	// Inverse points: must cancel to infinity.
+	a.setAffine(ax, ay)
+	negY := new(big.Int).Sub(params.P, ay)
+	b.setAffine(ax, negY)
+	b.double(f) // non-trivial Z for -2P
+	a.double(f)
+	a.addJac(f, &b)
+	if !a.isInfinity() {
+		t.Fatal("addJac 2P + (-2P) not infinity")
+	}
+
+	// Infinity operands.
+	a.setInfinity()
+	b.setAffine(bx, by)
+	a.addJac(f, &b)
+	if !a.equalsAffine(f, bx, by) {
+		t.Fatal("∞ + P != P")
+	}
+	b.setInfinity()
+	a.addJac(f, &b)
+	if !a.equalsAffine(f, bx, by) {
+		t.Fatal("P + ∞ != P")
+	}
+}
+
+// TestWNAFEdgeScalars pins the windowed multiplication on the edge
+// scalars the issue calls out: 0, 1, n−1, and small/structured values,
+// plus the point at infinity as the base.
+func TestWNAFEdgeScalars(t *testing.T) {
+	s := New(0)
+	params := s.curve.Params()
+	f := &fp{p: params.P}
+	px, py := s.curve.ScalarBaseMult([]byte{42})
+	scalars := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(31),
+		big.NewInt(32),
+		new(big.Int).Sub(params.N, big.NewInt(1)),
+		new(big.Int).Rsh(params.N, 1),
+	}
+	rnd := newDetRand(3)
+	for i := 0; i < 20; i++ {
+		var buf [32]byte
+		rnd.Read(buf[:])
+		k := new(big.Int).SetBytes(buf[:])
+		k.Mod(k, params.N)
+		scalars = append(scalars, k)
+	}
+	for _, k := range scalars {
+		naf := wnafRecode(k, wnafWindow)
+		var j jacPoint
+		wnafMul(f, &j, naf, px, py)
+		if k.Sign() == 0 {
+			if !j.isInfinity() {
+				t.Fatalf("0·P != ∞")
+			}
+			continue
+		}
+		wx, wy := s.curve.ScalarMult(px, py, k.Bytes())
+		if !j.equalsAffine(f, wx, wy) {
+			t.Fatalf("wnafMul(%v) diverges from curve.ScalarMult", k)
+		}
+		wnafMul(f, &j, naf, nil, nil)
+		if !j.isInfinity() {
+			t.Fatalf("k·∞ != ∞")
+		}
+	}
+}
+
+// TestWNAFRecodeRoundTrip checks that the digit string evaluates back
+// to the scalar: Σ naf[i]·2^i == k.
+func TestWNAFRecodeRoundTrip(t *testing.T) {
+	rnd := newDetRand(4)
+	n := New(0).curve.Params().N
+	for i := 0; i < 50; i++ {
+		var buf [32]byte
+		rnd.Read(buf[:])
+		k := new(big.Int).SetBytes(buf[:])
+		k.Mod(k, n)
+		naf := wnafRecode(k, wnafWindow)
+		got := new(big.Int)
+		for i := len(naf) - 1; i >= 0; i-- {
+			got.Lsh(got, 1)
+			got.Add(got, big.NewInt(int64(naf[i])))
+		}
+		if got.Cmp(k) != 0 {
+			t.Fatalf("wNAF round trip: got %v want %v", got, k)
+		}
+		// w-NAF invariants: nonzero digits odd and < 2^(w-1) in magnitude.
+		for _, d := range naf {
+			if d == 0 {
+				continue
+			}
+			if d%2 == 0 || d > 31 || d < -31 {
+				t.Fatalf("invalid wNAF digit %d", d)
+			}
+		}
+	}
+}
+
+// TestFastMatchesPortable is the end-to-end equivalence property: for
+// random batches, the fast and portable paths agree on accept, and on
+// reject for each class of tampering.
+func TestFastMatchesPortable(t *testing.T) {
+	fast := New(0)
+	portable := New(0, WithPortableVerify())
+	rnd := newDetRand(5)
+	priv, pub, err := fast.KeyGen(rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := testDigests(24, 7)
+	sigs, err := fast.SignBatch(priv, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical signatures between the schemes (and vs Sign).
+	psigs, err := portable.SignBatch(priv, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sigs {
+		if !bytes.Equal(sigs[i], psigs[i]) {
+			t.Fatalf("signature %d differs fast vs portable", i)
+		}
+	}
+
+	mkJobs := func() []sigagg.VerifyJob {
+		var jobs []sigagg.VerifyJob
+		for i := 0; i < len(digests); i += 8 {
+			agg, err := fast.Aggregate(sigs[i : i+8])
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, sigagg.VerifyJob{Digests: digests[i : i+8], Agg: agg})
+		}
+		// A job whose digests overlap the first two jobs — multiplicity > 1.
+		agg, err := fast.Aggregate(sigs[4:12])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(jobs, sigagg.VerifyJob{Digests: digests[4:12], Agg: agg})
+	}
+
+	check := func(name string, jobs []sigagg.VerifyJob, wantOK bool) {
+		t.Helper()
+		ferr := fast.VerifyJobs(pub, jobs)
+		perr := portable.VerifyJobs(pub, jobs)
+		if (ferr == nil) != (perr == nil) {
+			t.Fatalf("%s: fast (%v) and portable (%v) disagree", name, ferr, perr)
+		}
+		if (ferr == nil) != wantOK {
+			t.Fatalf("%s: verify = %v, want ok=%v", name, ferr, wantOK)
+		}
+	}
+
+	check("valid", mkJobs(), true)
+	// Run again with warm caches — same decision, now entirely from cache.
+	check("valid-warm", mkJobs(), true)
+
+	bad := mkJobs()
+	bad[0].Agg = bad[0].Agg.Clone()
+	bad[0].Agg[7] ^= 0x01
+	check("flipped-agg-byte", bad, false)
+
+	bad = mkJobs()
+	bad[1].Digests = bad[1].Digests[:7]
+	check("dropped-digest", bad, false)
+
+	bad = mkJobs()
+	extra := sha256.Sum256([]byte("unsigned"))
+	bad[2].Digests = append(append([][]byte{}, bad[2].Digests...), extra[:])
+	check("extra-digest", bad, false)
+
+	bad = mkJobs()
+	bad[0].Agg = fast.identity()
+	check("identity-agg", bad, false)
+
+	// Aggregate over zero digests with identity aggregate is valid.
+	check("empty-job", []sigagg.VerifyJob{{Agg: fast.identity()}}, true)
+}
+
+// TestAggregateVerifySingleFast pins the single-job path (Verify /
+// AggregateVerify) through the fast dispatcher, including its error
+// message shape relied on by callers' logs.
+func TestAggregateVerifySingleFast(t *testing.T) {
+	s := New(0)
+	priv, pub, err := s.KeyGen(newDetRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDigests(1, 9)[0]
+	sig, err := s.Sign(priv, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(pub, d, sig); err != nil {
+		t.Fatal(err)
+	}
+	wrong := testDigests(1, 10)[0]
+	err = s.Verify(pub, wrong, sig)
+	if err == nil {
+		t.Fatal("verify of wrong digest passed")
+	}
+	if want := fmt.Sprintf("BAS mismatch over %d digests", 1); !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q missing %q", err, want)
+	}
+}
+
+// TestAggregateIntoJacobian checks the Jacobian aggregation path
+// produces byte-identical aggregates to pairwise Add, including
+// cancellation to the identity.
+func TestAggregateIntoJacobian(t *testing.T) {
+	s := New(0)
+	priv, _, err := s.KeyGen(newDetRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := testDigests(9, 11)
+	sigs, err := s.SignBatch(priv, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.identity()
+	for _, sig := range sigs {
+		if want, err = s.Add(want, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.AggregateInto(nil, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AggregateInto %x != chained Add %x", got, want)
+	}
+	// Cancellation: agg + remove-all must encode the identity.
+	empty, err := s.AggregateInto(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.isIdentity(empty) {
+		t.Fatalf("empty aggregate not identity: %x", empty)
+	}
+}
+
+// TestTableReuse asserts the per-key precomputation is built exactly
+// once per public key, however many verifications share it.
+func TestTableReuse(t *testing.T) {
+	s := New(0)
+	rnd := newDetRand(8)
+	priv1, pub1, _ := s.KeyGen(rnd)
+	priv2, pub2, _ := s.KeyGen(rnd)
+	d := testDigests(4, 12)
+	for i := 0; i < 5; i++ {
+		sig, err := s.Sign(priv1, d[i%4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(pub1, d[i%4], sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.VerifyStats().TableBuilds; got != 1 {
+		t.Fatalf("TableBuilds = %d after one key, want 1", got)
+	}
+	sig, _ := s.Sign(priv2, d[0])
+	if err := s.Verify(pub2, d[0], sig); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.VerifyStats().TableBuilds; got != 2 {
+		t.Fatalf("TableBuilds = %d after two keys, want 2", got)
+	}
+}
+
+// TestCacheEvictionBounded forces the point cache past its bound and
+// checks correctness survives eviction (entries are re-derived, never
+// assumed).
+func TestCacheEvictionBounded(t *testing.T) {
+	s := New(0, WithCacheEntries(1)) // clamps to 8 per shard × 64 shards
+	priv, pub, err := s.KeyGen(newDetRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := testDigests(3000, 13)
+	sigs, err := s.SignBatch(priv, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]sigagg.VerifyJob, len(digests))
+	for i := range digests {
+		jobs[i] = sigagg.VerifyJob{Digests: digests[i : i+1], Agg: sigs[i]}
+	}
+	if err := s.VerifyJobs(pub, jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Re-verify: some hits, some evicted and recomputed, same answer.
+	if err := s.VerifyJobs(pub, jobs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.VerifyStats()
+	if st.CacheEvictions == 0 {
+		t.Fatalf("expected evictions with %d digests in a clamped cache: %+v", len(digests), st)
+	}
+	total := 0
+	for i := range s.cache.shards {
+		s.cache.shards[i].mu.RLock()
+		total += len(s.cache.shards[i].m)
+		s.cache.shards[i].mu.RUnlock()
+	}
+	if max := cacheShards * 8 * 2; total > max {
+		t.Fatalf("cache grew to %d entries, bound ~%d", total, max)
+	}
+}
+
+// TestConcurrentSharedScheme hammers one scheme instance — the shared
+// cache, table map, and scratch pool — from many goroutines mixing
+// signing, batch verification, and aggregation. Run under -race in CI.
+func TestConcurrentSharedScheme(t *testing.T) {
+	s := New(0)
+	priv, pub, err := s.KeyGen(newDetRand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := testDigests(64, 14)
+	sigs, err := s.SignBatch(priv, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				lo := (g*4 + i) % 48
+				agg, err := s.AggregateInto(nil, sigs[lo:lo+16])
+				if err != nil {
+					errs <- err
+					return
+				}
+				jobs := []sigagg.VerifyJob{{Digests: digests[lo : lo+16], Agg: agg}}
+				if err := s.VerifyJobs(pub, jobs); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := s.Sign(priv, digests[(g+i)%64]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.VerifyStats()
+	if st.H2CCacheHits == 0 {
+		t.Fatalf("no hash-to-curve cache hits under concurrent re-verification: %+v", st)
+	}
+}
+
+// TestSigningDoesNotWarmCache pins the honesty property the benchmarks
+// rely on: signing traffic must not populate the verifier's
+// digest→point cache.
+func TestSigningDoesNotWarmCache(t *testing.T) {
+	s := New(0)
+	priv, _, err := s.KeyGen(newDetRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SignBatch(priv, testDigests(32, 15)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.VerifyStats()
+	if st.H2CCacheHits != 0 || st.H2CCacheMisses != 0 {
+		t.Fatalf("signing touched the verify cache: %+v", st)
+	}
+}
+
+// TestAddCachedMatchesDirect: Add decodes its operands through the
+// aggregate point cache and inserts each sum back under its own
+// encoding. The results must stay byte-identical to the uncached
+// decode + curve.Add + encode path across a bottom-up tree rebuild —
+// including re-adds whose operands are now cache hits — and identity
+// operands must pass through untouched.
+func TestAddCachedMatchesDirect(t *testing.T) {
+	cached := New(0)
+	direct := New(0)
+	priv, _, err := cached.KeyGen(newDetRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	directAdd := func(agg, sig sigagg.Signature) sigagg.Signature {
+		ax, ay, err := direct.decode(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		px, py, err := direct.decode(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, ry := direct.addPoints(ax, ay, px, py)
+		return direct.encode(rx, ry)
+	}
+	leaves := make([]sigagg.Signature, 16)
+	for i, d := range testDigests(len(leaves), 0xAD) {
+		if leaves[i], err = cached.Sign(priv, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two bottom-up rebuild rounds over the same leaves: the second
+	// round's interior sums are all warm cache hits.
+	for round := 0; round < 2; round++ {
+		level := leaves
+		for len(level) > 1 {
+			next := make([]sigagg.Signature, 0, (len(level)+1)/2)
+			for i := 0; i+1 < len(level); i += 2 {
+				got, err := cached.Add(level[i], level[i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := directAdd(level[i], level[i+1]); !bytes.Equal(got, want) {
+					t.Fatalf("round %d: cached Add diverges from direct path", round)
+				}
+				next = append(next, got)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+	}
+	if hits := cached.cache.aggHits.Load(); hits == 0 {
+		t.Fatal("second rebuild round produced no aggregate cache hits")
+	}
+	// Identity operands: Add(0, s) == s and Add(s, 0) == s, bytewise.
+	id := cached.identity()
+	for _, pair := range [][2]sigagg.Signature{{id, leaves[0]}, {leaves[0], id}} {
+		got, err := cached.Add(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, leaves[0]) {
+			t.Fatal("identity operand changed the sum's encoding")
+		}
+	}
+	if got, err := cached.Add(id, id); err != nil || !bytes.Equal(got, id) {
+		t.Fatalf("Add(0,0) = %x, err=%v", got, err)
+	}
+}

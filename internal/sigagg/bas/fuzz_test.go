@@ -1,0 +1,85 @@
+package bas
+
+import (
+	"math/big"
+	"testing"
+
+	"authdb/internal/sigagg"
+)
+
+// FuzzPrecompTable fuzzes w-NAF table construction: any scalar bytes
+// must recode to a digit string that evaluates back to the scalar and
+// multiplies identically to crypto/elliptic's ScalarMult.
+func FuzzPrecompTable(f *testing.F) {
+	s := New(0)
+	n := s.curve.Params().N
+	f.Add([]byte{0})
+	f.Add([]byte{1})
+	f.Add(new(big.Int).Sub(n, big.NewInt(1)).Bytes())
+	f.Add(n.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		k := new(big.Int).SetBytes(raw)
+		k.Mod(k, n) // ScalarMult operates mod n; compare in the same group
+		naf := wnafRecode(k, wnafWindow)
+		// Digits must evaluate back to k.
+		got := new(big.Int)
+		for i := len(naf) - 1; i >= 0; i-- {
+			got.Lsh(got, 1)
+			got.Add(got, big.NewInt(int64(naf[i])))
+		}
+		if got.Cmp(k) != 0 {
+			t.Fatalf("recode(%v) evaluates to %v", k, got)
+		}
+		// And multiply to the same point as the assembly path.
+		fp := &fp{p: s.curve.Params().P}
+		px, py := s.curve.ScalarBaseMult([]byte{3})
+		var j jacPoint
+		wnafMul(fp, &j, naf, px, py)
+		if k.Sign() == 0 {
+			if !j.isInfinity() {
+				t.Fatal("0·P != ∞")
+			}
+			return
+		}
+		wx, wy := s.curve.ScalarMult(px, py, k.Bytes())
+		if !j.equalsAffine(fp, wx, wy) {
+			t.Fatalf("wnafMul(%v) diverges from curve.ScalarMult", k)
+		}
+	})
+}
+
+// FuzzFastVerifyAgreesWithPortable fuzzes the verification dispatch:
+// for an arbitrary digest and arbitrary signature tampering, the fast
+// and portable paths must return the same accept/reject decision.
+func FuzzFastVerifyAgreesWithPortable(f *testing.F) {
+	fast := New(0)
+	portable := New(0, WithPortableVerify())
+	priv, pub, err := fast.KeyGen(newDetRand(99))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("digest"), uint8(0), uint8(0))
+	f.Add([]byte("digest"), uint8(5), uint8(0x40))
+	f.Fuzz(func(t *testing.T, digest []byte, pos, mask uint8) {
+		sig, err := fast.Sign(priv, digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := sig.Clone()
+		mut[int(pos)%len(mut)] ^= mask
+		jobs := []sigagg.VerifyJob{{Digests: [][]byte{digest}, Agg: mut}}
+		ferr := fast.VerifyJobs(pub, jobs)
+		perr := portable.VerifyJobs(pub, jobs)
+		if (ferr == nil) != (perr == nil) {
+			t.Fatalf("fast (%v) and portable (%v) disagree on mutated sig (pos=%d mask=%#x)",
+				ferr, perr, pos, mask)
+		}
+		if mask == 0 && ferr != nil {
+			t.Fatalf("untampered signature rejected: %v", ferr)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package bas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+	"sync"
+	"sync/atomic"
+)
+
+// h2cScratch holds the try-and-increment temporaries for hashToCurve.
+// The one-shot path allocated ~5 big.Ints plus a sha256.New per
+// candidate (~4.9k allocs per verified answer at 20 records/answer);
+// with the scratch hoisted here the loop allocates only what
+// math/big's Exp/ModSqrt internals need. Not safe for concurrent use.
+type h2cScratch struct {
+	msg            []byte // "bas-h2c" || digest || ctr, patched in place
+	cand, rhs, tmp big.Int
+	y              big.Int
+}
+
+const h2cTag = "bas-h2c"
+
+var three = big.NewInt(3)
+
+// hashToCurveScratch is hashToCurve with caller-provided scratch. The
+// returned points alias sc and are valid only until the next call; the
+// caller clones them before retention (the cache does). The candidate
+// derivation is bit-identical to the historical one-shot path, so
+// signatures stay byte-identical across both.
+func (s *Scheme) hashToCurveScratch(sc *h2cScratch, digest []byte) (x, y *big.Int) {
+	params := s.curve.Params()
+	p := params.P
+	sc.msg = append(sc.msg[:0], h2cTag...)
+	sc.msg = append(sc.msg, digest...)
+	sc.msg = append(sc.msg, 0, 0, 0, 0)
+	ctrOff := len(sc.msg) - 4
+	for ctr := uint32(0); ; ctr++ {
+		binary.BigEndian.PutUint32(sc.msg[ctrOff:], ctr)
+		h := sha256.Sum256(sc.msg)
+		sc.cand.SetBytes(h[:])
+		sc.cand.Mod(&sc.cand, p)
+		// rhs = x³ - 3x + b mod p
+		sc.rhs.Exp(&sc.cand, three, p)
+		sc.tmp.Lsh(&sc.cand, 1)
+		sc.tmp.Add(&sc.tmp, &sc.cand) // 3x
+		sc.rhs.Sub(&sc.rhs, &sc.tmp)
+		sc.rhs.Add(&sc.rhs, params.B)
+		sc.rhs.Mod(&sc.rhs, p)
+		if sc.y.ModSqrt(&sc.rhs, p) == nil {
+			continue
+		}
+		return &sc.cand, &sc.y
+	}
+}
+
+// Point cache. Verification traffic re-hashes the same record digests
+// over and over — overlapping ranges share boundary records, hot ranges
+// are re-verified every freshness window, and fleet clients re-check the
+// same catalog on every replica — so the digest→H(d) map (two square
+// roots on average, ~45µs) and the compressed-aggregate decode (one
+// square root, ~21µs) are both memoized. Both functions are pure, so
+// the cache is correctness-neutral; it only ever stores points that
+// decoded/mapped successfully.
+
+const (
+	cacheShards = 64
+	// keyLen namespaces the two kinds of entries: tag byte + up to 33
+	// bytes of payload (32-byte digest zero-padded, or 33-byte
+	// compressed signature).
+	cacheKeyLen = 34
+
+	tagDigest = 'd'
+	tagAgg    = 'a'
+)
+
+type cacheKey [cacheKeyLen]byte
+
+type cachedPoint struct {
+	x, y *big.Int // immutable once inserted
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]cachedPoint
+}
+
+// pointCache is a sharded, size-bounded map from cache keys to curve
+// points. Eviction is random-victim (Go map iteration order) per shard,
+// which is cheap and good enough for a memoization cache.
+type pointCache struct {
+	shards   [cacheShards]cacheShard
+	perShard int // max entries per shard
+
+	h2cHits, h2cMisses atomic.Uint64
+	aggHits, aggMisses atomic.Uint64
+	evictions          atomic.Uint64
+}
+
+func newPointCache(entries int) *pointCache {
+	c := &pointCache{perShard: entries / cacheShards}
+	if c.perShard < 8 {
+		c.perShard = 8
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]cachedPoint)
+	}
+	return c
+}
+
+// digestKey builds the cache key for a record digest. Digests are
+// 32 bytes throughout the system; anything else is hashed down so
+// distinct inputs can never collide across lengths.
+func digestKey(d []byte) cacheKey {
+	var k cacheKey
+	k[0] = tagDigest
+	if len(d) == 32 {
+		copy(k[1:], d)
+	} else {
+		h := sha256.Sum256(d)
+		copy(k[1:], h[:])
+	}
+	return k
+}
+
+// aggKey builds the cache key for a compressed signature point.
+func aggKey(sig []byte) cacheKey {
+	var k cacheKey
+	k[0] = tagAgg
+	copy(k[1:], sig) // compressed points are exactly 33 bytes
+	return k
+}
+
+func (c *pointCache) shard(k *cacheKey) *cacheShard {
+	return &c.shards[k[1]&(cacheShards-1)]
+}
+
+func (c *pointCache) get(k *cacheKey) (cachedPoint, bool) {
+	sh := c.shard(k)
+	sh.mu.RLock()
+	pt, ok := sh.m[*k]
+	sh.mu.RUnlock()
+	return pt, ok
+}
+
+func (c *pointCache) put(k *cacheKey, pt cachedPoint) {
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if len(sh.m) >= c.perShard {
+		for victim := range sh.m {
+			delete(sh.m, victim)
+			c.evictions.Add(1)
+			break
+		}
+	}
+	sh.m[*k] = pt
+	sh.mu.Unlock()
+}
+
+// hashToCurveCached returns H(digest) through the cache. The returned
+// points are shared and must not be mutated.
+func (s *Scheme) hashToCurveCached(sc *h2cScratch, digest []byte) (x, y *big.Int) {
+	k := digestKey(digest)
+	if pt, ok := s.cache.get(&k); ok {
+		s.cache.h2cHits.Add(1)
+		return pt.x, pt.y
+	}
+	s.cache.h2cMisses.Add(1)
+	hx, hy := s.hashToCurveScratch(sc, digest)
+	pt := cachedPoint{x: new(big.Int).Set(hx), y: new(big.Int).Set(hy)}
+	s.cache.put(&k, pt)
+	return pt.x, pt.y
+}

@@ -1,0 +1,322 @@
+package bas
+
+import "math/big"
+
+// Jacobian-coordinate point arithmetic for the verification fast path.
+//
+// crypto/elliptic's Curve interface converts to and from affine
+// coordinates around every operation, which for point addition means a
+// modular inversion (or, in the nistec backends, byte-level marshal /
+// unmarshal plus constant-time machinery) per Add. Batch verification
+// sums hundreds of points per call, so the fast path accumulates in
+// Jacobian projective coordinates — (X, Y, Z) with x = X/Z², y = Y/Z³ —
+// where a mixed addition costs 7 field multiplications + 4 squarings
+// and no inversion at all. One inversion converts the final sum back to
+// affine for the closing scalar multiplication.
+//
+// Formulas are the standard a = -3 set from the EFD:
+// madd-2007-bl for mixed addition, dbl-2001-b for doubling,
+// add-2007-bl for full Jacobian-Jacobian addition.
+
+// fp is modular-arithmetic scratch: the prime and a set of reusable
+// big.Int temporaries so the inner loops allocate nothing. Not safe for
+// concurrent use; each verification goroutine gets its own via the
+// scratch pool.
+type fp struct {
+	p                                      *big.Int
+	t0, t1, t2, t3, t4, t5, t6, t7, t8, t9 big.Int
+}
+
+func (f *fp) mul(z, a, b *big.Int) { z.Mul(a, b); z.Mod(z, f.p) }
+func (f *fp) sqr(z, a *big.Int)    { z.Mul(a, a); z.Mod(z, f.p) }
+
+// sub computes z = a - b mod p assuming a, b are reduced.
+func (f *fp) sub(z, a, b *big.Int) {
+	z.Sub(a, b)
+	if z.Sign() < 0 {
+		z.Add(z, f.p)
+	}
+}
+
+// add computes z = a + b mod p assuming a, b are reduced.
+func (f *fp) add(z, a, b *big.Int) {
+	z.Add(a, b)
+	if z.Cmp(f.p) >= 0 {
+		z.Sub(z, f.p)
+	}
+}
+
+// dbl computes z = 2a mod p assuming a is reduced.
+func (f *fp) dbl(z, a *big.Int) { f.add(z, a, a) }
+
+// jacPoint is a point in Jacobian coordinates. Z = 0 encodes the point
+// at infinity. The big.Ints are embedded (not pointers) so a jacPoint
+// inside a scratch struct is reusable without allocation.
+type jacPoint struct {
+	x, y, z big.Int
+}
+
+func (j *jacPoint) setInfinity() {
+	j.x.SetInt64(1)
+	j.y.SetInt64(1)
+	j.z.SetInt64(0)
+}
+
+func (j *jacPoint) isInfinity() bool { return j.z.Sign() == 0 }
+
+// setAffine loads an affine point (Z = 1).
+func (j *jacPoint) setAffine(ax, ay *big.Int) {
+	j.x.Set(ax)
+	j.y.Set(ay)
+	j.z.SetInt64(1)
+}
+
+func (j *jacPoint) set(o *jacPoint) {
+	j.x.Set(&o.x)
+	j.y.Set(&o.y)
+	j.z.Set(&o.z)
+}
+
+// double sets j = 2j in place (dbl-2001-b, a = -3):
+// delta = Z², gamma = Y², beta = X·gamma,
+// alpha = 3(X-delta)(X+delta),
+// X3 = alpha² - 8beta, Z3 = (Y+Z)² - gamma - delta,
+// Y3 = alpha(4beta - X3) - 8gamma².
+// A Y = 0 input (2-torsion; cannot occur on prime-order P-256 but the
+// formula is total anyway) yields Z3 = 0, the correct infinity.
+func (j *jacPoint) double(f *fp) {
+	if j.isInfinity() {
+		return
+	}
+	delta, gamma, beta, alpha := &f.t0, &f.t1, &f.t2, &f.t3
+	t, u := &f.t4, &f.t5
+	f.sqr(delta, &j.z)
+	f.sqr(gamma, &j.y)
+	f.mul(beta, &j.x, gamma)
+	// alpha = 3(X-delta)(X+delta)
+	f.sub(t, &j.x, delta)
+	f.add(u, &j.x, delta)
+	f.mul(alpha, t, u)
+	f.dbl(t, alpha)
+	f.add(alpha, t, alpha) // 3·(X-delta)(X+delta)
+	// Z3 = (Y+Z)² - gamma - delta  (before X, Y are clobbered)
+	f.add(t, &j.y, &j.z)
+	f.sqr(t, t)
+	f.sub(t, t, gamma)
+	f.sub(&j.z, t, delta)
+	// X3 = alpha² - 8beta
+	f.sqr(t, alpha)
+	f.dbl(u, beta)
+	f.dbl(u, u)
+	f.dbl(u, u) // 8beta
+	f.sub(t, t, u)
+	// Y3 = alpha(4beta - X3) - 8gamma²
+	f.dbl(u, beta)
+	f.dbl(u, u) // 4beta
+	f.sub(u, u, t)
+	j.x.Set(t)
+	f.mul(t, alpha, u)
+	f.sqr(u, gamma)
+	f.dbl(u, u)
+	f.dbl(u, u)
+	f.dbl(u, u) // 8gamma²
+	f.sub(&j.y, t, u)
+}
+
+// mixedAdd sets j = j + (ax, ay) where (ax, ay) is an affine point with
+// ay possibly pre-negated (madd-2007-bl, 7M + 4S):
+// Z1Z1 = Z1², U2 = X2·Z1Z1, S2 = Y2·Z1·Z1Z1,
+// H = U2-X1, r = 2(S2-Y1), and the usual completion.
+// Handles all special cases: j at infinity (copy), equal points
+// (double), inverse points (infinity).
+func (j *jacPoint) mixedAdd(f *fp, ax, ay *big.Int) {
+	if j.isInfinity() {
+		j.setAffine(ax, ay)
+		return
+	}
+	z1z1, u2, s2, h, r := &f.t0, &f.t1, &f.t2, &f.t3, &f.t4
+	t, u, v := &f.t5, &f.t6, &f.t7
+	f.sqr(z1z1, &j.z)
+	f.mul(u2, ax, z1z1)
+	f.mul(s2, ay, &j.z)
+	f.mul(s2, s2, z1z1)
+	f.sub(h, u2, &j.x)
+	f.sub(r, s2, &j.y)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(f) // same point
+			return
+		}
+		j.setInfinity() // inverse points
+		return
+	}
+	f.dbl(r, r) // r = 2(S2-Y1)
+	// HH = H², I = 4HH, J = H·I, V = X1·I
+	hh, i, jj := &f.t8, &f.t9, u2 // u2 is free now
+	f.sqr(hh, h)
+	f.dbl(i, hh)
+	f.dbl(i, i)
+	f.mul(jj, h, i)
+	f.mul(v, &j.x, i)
+	// X3 = r² - J - 2V
+	f.sqr(t, r)
+	f.sub(t, t, jj)
+	f.dbl(u, v)
+	f.sub(t, t, u)
+	// Y3 = r(V - X3) - 2·Y1·J
+	f.sub(u, v, t)
+	f.mul(u, r, u)
+	f.mul(v, &j.y, jj)
+	f.dbl(v, v)
+	j.x.Set(t)
+	f.sub(&j.y, u, v)
+	// Z3 = (Z1+H)² - Z1Z1 - HH
+	f.add(t, &j.z, h)
+	f.sqr(t, t)
+	f.sub(t, t, z1z1)
+	f.sub(&j.z, t, hh)
+}
+
+// addJac sets j = j + o for two Jacobian points (add-2007-bl, 11M + 5S).
+func (j *jacPoint) addJac(f *fp, o *jacPoint) {
+	if o.isInfinity() {
+		return
+	}
+	if j.isInfinity() {
+		j.set(o)
+		return
+	}
+	z1z1, z2z2, u1, u2, s1, s2 := &f.t0, &f.t1, &f.t2, &f.t3, &f.t4, &f.t5
+	h, r, t, u := &f.t6, &f.t7, &f.t8, &f.t9
+	f.sqr(z1z1, &j.z)
+	f.sqr(z2z2, &o.z)
+	f.mul(u1, &j.x, z2z2)
+	f.mul(u2, &o.x, z1z1)
+	f.mul(s1, &j.y, &o.z)
+	f.mul(s1, s1, z2z2)
+	f.mul(s2, &o.y, &j.z)
+	f.mul(s2, s2, z1z1)
+	f.sub(h, u2, u1)
+	f.sub(r, s2, s1)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			j.double(f)
+			return
+		}
+		j.setInfinity()
+		return
+	}
+	f.dbl(r, r) // r = 2(S2-S1)
+	// I = (2H)², J = H·I, V = U1·I
+	f.dbl(t, h)
+	f.sqr(t, t)      // I, in t
+	f.mul(u2, h, t)  // J, reusing u2
+	f.mul(u1, u1, t) // V, reusing u1
+	// X3 = r² - J - 2V
+	f.sqr(t, r)
+	f.sub(t, t, u2)
+	f.dbl(u, u1)
+	f.sub(t, t, u)
+	// Y3 = r(V - X3) - 2·S1·J
+	f.sub(u, u1, t)
+	f.mul(u, r, u)
+	f.mul(s1, s1, u2)
+	f.dbl(s1, s1)
+	f.sub(u, u, s1)
+	// Z3 = ((Z1+Z2)² - Z1Z1 - Z2Z2)·H
+	f.add(s2, &j.z, &o.z)
+	f.sqr(s2, s2)
+	f.sub(s2, s2, z1z1)
+	f.sub(s2, s2, z2z2)
+	f.mul(&j.z, s2, h)
+	j.x.Set(t)
+	j.y.Set(u)
+}
+
+// toAffine converts j to affine coordinates, paying one modular
+// inversion. Returns (nil, nil) for the point at infinity.
+func (j *jacPoint) toAffine(f *fp) (x, y *big.Int) {
+	if j.isInfinity() {
+		return nil, nil
+	}
+	zinv := new(big.Int).ModInverse(&j.z, f.p)
+	zinv2 := &f.t0
+	f.sqr(zinv2, zinv)
+	x = new(big.Int)
+	f.mul(x, &j.x, zinv2)
+	y = new(big.Int)
+	f.mul(y, zinv2, zinv) // zinv³
+	f.mul(y, &j.y, y)
+	return x, y
+}
+
+// equalsAffine reports whether j equals the affine point (ax, ay)
+// without an inversion: X == ax·Z² and Y == ay·Z³. ax == nil means the
+// point at infinity.
+func (j *jacPoint) equalsAffine(f *fp, ax, ay *big.Int) bool {
+	aInf := ax == nil || (ax.Sign() == 0 && ay.Sign() == 0)
+	if j.isInfinity() || aInf {
+		return j.isInfinity() == aInf
+	}
+	z2, t := &f.t0, &f.t1
+	f.sqr(z2, &j.z)
+	f.mul(t, ax, z2)
+	if t.Cmp(&j.x) != 0 {
+		return false
+	}
+	f.mul(z2, z2, &j.z) // z³
+	f.mul(t, ay, z2)
+	return t.Cmp(&j.y) == 0
+}
+
+// batchToAffine normalizes pts to affine in place using one shared
+// inversion (Montgomery's trick): the prefix products of all Z values
+// are inverted once, then unwound to recover each Z's inverse. Points at
+// infinity are left untouched and reported via the returned mask.
+func batchToAffine(f *fp, pts []*jacPoint) {
+	n := len(pts)
+	if n == 0 {
+		return
+	}
+	// prefix[i] = Z_0·Z_1·...·Z_i (skipping infinities as 1)
+	prefix := make([]*big.Int, n)
+	acc := big.NewInt(1)
+	for i, pt := range pts {
+		if !pt.isInfinity() {
+			f.mul(acc, acc, &pt.z)
+		}
+		prefix[i] = new(big.Int).Set(acc)
+	}
+	inv := new(big.Int).ModInverse(acc, f.p)
+	if inv == nil {
+		// acc shares a factor with p — impossible for a prime modulus
+		// and nonzero Zs, but fall back to per-point inversion.
+		for _, pt := range pts {
+			if pt.isInfinity() {
+				continue
+			}
+			x, y := pt.toAffine(f)
+			pt.setAffine(x, y)
+		}
+		return
+	}
+	zinv, t := new(big.Int), new(big.Int)
+	for i := n - 1; i >= 0; i-- {
+		pt := pts[i]
+		if pt.isInfinity() {
+			continue
+		}
+		if i == 0 {
+			zinv.Set(inv)
+		} else {
+			f.mul(zinv, inv, prefix[i-1])
+		}
+		f.mul(inv, inv, &pt.z) // strip Z_i from the running inverse
+		// x = X/Z², y = Y/Z³, Z = 1
+		f.sqr(t, zinv)
+		f.mul(&pt.x, &pt.x, t)
+		f.mul(t, t, zinv)
+		f.mul(&pt.y, &pt.y, t)
+		pt.z.SetInt64(1)
+	}
+}

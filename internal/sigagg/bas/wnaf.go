@@ -1,0 +1,153 @@
+package bas
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Per-public-key precomputation for the closing scalar multiplication
+// of the trapdoor relation agg == x·ΣH(mᵢ). Everything derivable from
+// the key alone — the serialized scalar and its w-NAF recoding — is
+// computed once per owner key and shared: one Scheme instance backs the
+// whole process (the registry default, a Pool's workers, every client a
+// DialFleet opens across replicas of the same owner), so the table is
+// built exactly once per key process-wide.
+
+const wnafWindow = 5 // odd digits in [-31, 31]; 16-entry odd-multiple tables
+
+// precompTable is the per-key precomputation.
+type precompTable struct {
+	xBytes []byte // trapdoor scalar, serialized once for curve.ScalarMult
+	naf    []int8 // w-NAF digits of the trapdoor, naf[i] is the digit at 2^i
+}
+
+// tableCache maps public keys (by their point encoding) to their table.
+type tableCache struct {
+	mu     sync.RWMutex
+	m      map[string]*precompTable
+	builds uint64 // guarded by mu
+}
+
+func newTableCache() *tableCache {
+	return &tableCache{m: make(map[string]*precompTable)}
+}
+
+func (tc *tableCache) tableFor(p *PublicKey) *precompTable {
+	key := string(p.X.Bytes()) + "|" + string(p.Y.Bytes())
+	tc.mu.RLock()
+	t := tc.m[key]
+	tc.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if t = tc.m[key]; t != nil {
+		return t
+	}
+	t = &precompTable{
+		xBytes: p.Trapdoor.Bytes(),
+		naf:    wnafRecode(p.Trapdoor, wnafWindow),
+	}
+	tc.m[key] = t
+	tc.builds++
+	return t
+}
+
+func (tc *tableCache) buildCount() uint64 {
+	tc.mu.RLock()
+	defer tc.mu.RUnlock()
+	return tc.builds
+}
+
+// wnafRecode converts a non-negative scalar to width-w NAF: a digit
+// string where every nonzero digit is odd, |digit| < 2^(w-1), and any
+// two nonzero digits are at least w positions apart — so a scalar
+// multiplication needs one table lookup per ~(w+1) doublings.
+func wnafRecode(k *big.Int, w uint) []int8 {
+	if k.Sign() == 0 {
+		return nil
+	}
+	var (
+		d    = new(big.Int).Set(k)
+		mod  = int64(1) << w       // 2^w
+		half = int64(1) << (w - 1) // 2^(w-1)
+		out  = make([]int8, 0, d.BitLen()+1)
+	)
+	for d.Sign() > 0 {
+		if d.Bit(0) == 1 {
+			// digit = d mods 2^w, the odd remainder in (-2^(w-1), 2^(w-1))
+			digit := int64(0)
+			for b := uint(0); b < w; b++ {
+				digit |= int64(d.Bit(int(b))) << b
+			}
+			if digit >= half {
+				digit -= mod
+			}
+			out = append(out, int8(digit))
+			if digit > 0 {
+				d.Sub(d, big.NewInt(digit))
+			} else {
+				d.Add(d, big.NewInt(-digit))
+			}
+		} else {
+			out = append(out, 0)
+		}
+		d.Rsh(d, 1)
+	}
+	return out
+}
+
+// wnafMul computes naf-digits·(px, py) into dst using Jacobian
+// arithmetic with a normalized odd-multiple table: P, 3P, ..., 31P are
+// computed once in Jacobian form, batch-normalized to affine with a
+// single shared inversion, and the main loop is then one doubling per
+// bit plus one *mixed* addition per nonzero digit. (px, py) may be the
+// point at infinity (nil px), giving infinity.
+//
+// This is the portable closing multiplication: on amd64/arm64 the
+// assembly-backed curve.ScalarMult still wins for a single product (a
+// measured 66µs vs ~600µs for big.Int field arithmetic), so the
+// default fast path normalizes the digest sum and calls the assembly —
+// wnafMul is the reference implementation the equivalence tests and
+// fuzzers hold both paths to, and the fallback shape a constant-free
+// backend would use.
+func wnafMul(f *fp, dst *jacPoint, naf []int8, px, py *big.Int) {
+	dst.setInfinity()
+	if px == nil || len(naf) == 0 {
+		return
+	}
+	// Odd multiples 1P, 3P, ..., 31P.
+	const tblSize = 1 << (wnafWindow - 1) // 16
+	var tbl [tblSize]jacPoint
+	tbl[0].setAffine(px, py)
+	var twoP jacPoint
+	twoP.setAffine(px, py)
+	twoP.double(f)
+	for i := 1; i < tblSize; i++ {
+		tbl[i].set(&tbl[i-1])
+		tbl[i].addJac(f, &twoP)
+	}
+	pts := make([]*jacPoint, tblSize)
+	for i := range tbl {
+		pts[i] = &tbl[i]
+	}
+	batchToAffine(f, pts)
+	negY := new(big.Int) // recomputed per negative digit below
+	for i := len(naf) - 1; i >= 0; i-- {
+		dst.double(f)
+		d := naf[i]
+		if d == 0 {
+			continue
+		}
+		var e *jacPoint
+		if d > 0 {
+			e = &tbl[d>>1]
+			dst.mixedAdd(f, &e.x, &e.y)
+		} else {
+			e = &tbl[(-d)>>1]
+			negY.Sub(f.p, &e.y)
+			dst.mixedAdd(f, &e.x, negY)
+		}
+	}
+}

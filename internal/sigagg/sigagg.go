@@ -127,6 +127,38 @@ func AggregateInto(s Scheme, dst Signature, sigs []Signature) (Signature, error)
 	return s.Aggregate(sigs)
 }
 
+// VerifyStats are the monotonic counters of a scheme's verification
+// fast path. Counters are process-wide for the scheme instance they are
+// read from: a cache shared by many verifier sessions reports the
+// combined traffic.
+type VerifyStats struct {
+	// H2CCacheHits/Misses count hash-to-curve lookups served from the
+	// digest→point cache vs computed with the full try-and-increment map.
+	H2CCacheHits   uint64 `json:"h2c_cache_hits"`
+	H2CCacheMisses uint64 `json:"h2c_cache_misses"`
+	// AggCacheHits/Misses count aggregate-signature point decodes served
+	// from cache vs paid in full (a compressed-point decode costs a
+	// square root).
+	AggCacheHits   uint64 `json:"agg_cache_hits"`
+	AggCacheMisses uint64 `json:"agg_cache_misses"`
+	// CacheEvictions counts cached points dropped by the size bound.
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// TableBuilds counts per-public-key precomputation tables built;
+	// verifications after the first reuse the key's table.
+	TableBuilds uint64 `json:"table_builds"`
+	// FastVerifies/PortableVerifies count verification calls dispatched
+	// to the precomputed fast path vs the portable slow path.
+	FastVerifies     uint64 `json:"fast_verifies"`
+	PortableVerifies uint64 `json:"portable_verifies"`
+}
+
+// VerifyStatsProvider is an optional Scheme capability: schemes with a
+// verification fast path report its counters, so serving stacks can
+// assert the fast path is actually exercised (and alert when it is not).
+type VerifyStatsProvider interface {
+	VerifyStats() VerifyStats
+}
+
 // Binder is implemented by schemes whose aggregation operations need the
 // signer's public parameters (e.g. the RSA modulus for condensed RSA).
 type Binder interface {

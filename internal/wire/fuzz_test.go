@@ -39,7 +39,7 @@ func seedFrames(t testing.TB) [][]byte {
 		EncodeUpdateMsg(closeMsg),
 		AppendSummaries(nil, sums),
 		AppendSummaries(nil, []freshness.Summary{}),
-		AppendQueryReq(nil, -5, 1<<40),
+		AppendQueryReq(nil, -5, 1<<40, 9),
 		AppendSummariesReq(nil, 123),
 		AppendErrorCode(nil, ErrCodeOverloaded, "overloaded"),
 		AppendError(nil, ""),

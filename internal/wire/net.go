@@ -107,29 +107,37 @@ func Kind(data []byte) (byte, error) {
 
 // ---- QueryReq (user -> server) ----
 
-// AppendQueryReq appends a range-query request for [lo, hi].
-func AppendQueryReq(buf []byte, lo, hi int64) []byte {
+// AppendQueryReq appends a range-query request for [lo, hi]. sinceSeq
+// advertises the highest certified summary sequence the session already
+// holds (0 = none): the server attaches only the summaries published
+// after it to the answer, so a long-lived session stops re-downloading
+// the whole summary history with every response.
+func AppendQueryReq(buf []byte, lo, hi int64, sinceSeq uint64) []byte {
 	w := &writer{buf: buf}
 	w.u8(Version)
 	w.u8('Q')
 	w.i64(lo)
 	w.i64(hi)
+	w.u64(sinceSeq)
 	return w.buf
 }
 
 // DecodeQueryReq parses a range-query request.
-func DecodeQueryReq(data []byte) (lo, hi int64, err error) {
+func DecodeQueryReq(data []byte) (lo, hi int64, sinceSeq uint64, err error) {
 	r := &reader{buf: data}
 	if err = header(r, 'Q'); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if lo, err = r.i64(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if hi, err = r.i64(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return lo, hi, r.done()
+	if sinceSeq, err = r.u64(); err != nil {
+		return 0, 0, 0, err
+	}
+	return lo, hi, sinceSeq, r.done()
 }
 
 // ---- SummariesReq (user -> server) ----

@@ -52,16 +52,16 @@ func TestFrameLimitsAndTruncation(t *testing.T) {
 }
 
 func TestQueryReqRoundTrip(t *testing.T) {
-	data := AppendQueryReq(GetBuffer(), -5, 1<<40)
+	data := AppendQueryReq(GetBuffer(), -5, 1<<40, 77)
 	defer PutBuffer(data)
 	if k, err := Kind(data); err != nil || k != 'Q' {
 		t.Fatalf("kind=%q err=%v", k, err)
 	}
-	lo, hi, err := DecodeQueryReq(data)
-	if err != nil || lo != -5 || hi != 1<<40 {
-		t.Fatalf("lo=%d hi=%d err=%v", lo, hi, err)
+	lo, hi, sinceSeq, err := DecodeQueryReq(data)
+	if err != nil || lo != -5 || hi != 1<<40 || sinceSeq != 77 {
+		t.Fatalf("lo=%d hi=%d sinceSeq=%d err=%v", lo, hi, sinceSeq, err)
 	}
-	if _, _, err := DecodeQueryReq(data[:len(data)-1]); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := DecodeQueryReq(data[:len(data)-1]); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("truncated request: %v", err)
 	}
 }

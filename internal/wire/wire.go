@@ -321,7 +321,26 @@ func EncodeAnswer(ans *core.Answer) ([]byte, error) {
 // buffer. On error nothing has been appended and the caller still owns
 // buf — a pooled buffer must then be recycled by the caller (exactly
 // once; see server.Codec for the canonical error path).
+//
+// The encoding is the answer core followed by the summary tail, so a
+// serving layer can also compose the identical frame from a cached
+// AppendAnswerCore encoding plus a per-client AppendSummaryTail.
 func AppendAnswer(buf []byte, ans *core.Answer) ([]byte, error) {
+	out, err := AppendAnswerCore(buf, ans)
+	if err != nil {
+		return nil, err
+	}
+	return AppendSummaryTail(out, ans.Summaries), nil
+}
+
+// AppendAnswerCore appends the summary-free prefix of an answer's
+// encoding: everything through the aggregate, with no summary section.
+// The result is NOT a complete 'A' message — DecodeAnswer requires the
+// summary tail — but it is cache-stable: the bytes depend only on the
+// answered records, so the answer cache stores exactly this prefix and
+// the serving layer appends each client's summary delta at response
+// time.
+func AppendAnswerCore(buf []byte, ans *core.Answer) ([]byte, error) {
 	if ans == nil || ans.Chain == nil {
 		return nil, fmt.Errorf("wire: nil answer")
 	}
@@ -345,11 +364,19 @@ func AppendAnswer(buf []byte, ans *core.Answer) ([]byte, error) {
 		w.u8(0)
 	}
 	w.bytes(ca.Agg)
-	w.u64(uint64(len(ans.Summaries)))
-	for i := range ans.Summaries {
-		putSummary(w, &ans.Summaries[i])
-	}
 	return w.buf, nil
+}
+
+// AppendSummaryTail appends an answer encoding's summary section: the
+// count, then each certified summary. AppendAnswerCore bytes followed by
+// AppendSummaryTail bytes form exactly one complete 'A' message.
+func AppendSummaryTail(buf []byte, sums []freshness.Summary) []byte {
+	w := &writer{buf: buf}
+	w.u64(uint64(len(sums)))
+	for i := range sums {
+		putSummary(w, &sums[i])
+	}
+	return w.buf
 }
 
 // DecodeAnswer parses a verifiable query answer.
