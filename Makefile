@@ -3,9 +3,9 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet bench proof ingest serve bench-serve bench-net bench-wal bench-chaos bench-fleet bench-verify clean
+.PHONY: all build test race vet lint authlint bench proof ingest serve bench-serve bench-net bench-wal bench-chaos bench-fleet bench-verify clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,34 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-enabled pass over the concurrency-heavy packages.
+# Race-enabled pass over the whole module.
 race:
-	$(GO) test -race ./internal/core/... ./internal/sigagg/... ./internal/aggtree ./internal/sigcache ./internal/chain ./internal/anscache ./internal/server ./internal/client ./internal/freshness ./internal/wal ./internal/faultnet ./internal/replica
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariant suite (see DESIGN.md "Invariants & static
+# analysis"): buffer custody, lock/epoch discipline, retry
+# classification, signer/verifier cache separation, no blocking under
+# core locks.
+authlint:
+	$(GO) run ./cmd/authlint ./...
+
+# Full static pass: go vet, the authlint invariant suite, and — when
+# installed (CI pins them; nothing is downloaded here) — staticcheck
+# and govulncheck.
+lint: vet authlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
 
 # One pass over every benchmark; AUTHDB_PROOF_N bounds the headline
 # proof-construction fixture.

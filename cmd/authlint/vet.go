@@ -1,0 +1,102 @@
+// The go vet -vettool unit protocol: the build system hands the tool a
+// JSON config describing one compilation unit (file list, import map,
+// export-data locations) and expects diagnostics on stderr, a fact
+// file written to VetxOutput, and exit status 0 (clean) / 1 (findings).
+// This mirrors golang.org/x/tools/go/analysis/unitchecker, built on the
+// stdlib gc importer instead (export data comes from cfg.PackageFile).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"authdb/internal/analysis"
+	"authdb/internal/analysis/load"
+)
+
+// vetConfig is the subset of the unit config authlint consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "authlint: parse %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// Facts are not used by this suite, but the protocol requires the
+	// output file to exist for the build cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "authlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if resolved, ok := cfg.ImportMap[importPath]; ok {
+			importPath = resolved
+		}
+		return gcImp.Import(importPath)
+	})
+	pkg, err := load.Unit(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "authlint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authlint: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

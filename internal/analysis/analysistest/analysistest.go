@@ -1,0 +1,195 @@
+// Package analysistest runs an authlint analyzer over fixture packages
+// under a testdata/src tree and checks its diagnostics against
+// expectations written in the fixtures as trailing comments:
+//
+//	wire.PutBuffer(buf) // want `double PutBuffer`
+//
+// Each `want` carries one or more backquoted (or quoted) regular
+// expressions; every diagnostic on that line must match one, in order,
+// and every expectation must be matched — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented here
+// because x/tools cannot be vendored.
+//
+// Fixture imports resolve inside the tree first (testdata/src/wire for
+// `import "wire"`), then fall back to the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"authdb/internal/analysis"
+	"authdb/internal/analysis/load"
+)
+
+// Run loads testdata/src/<pkgpath> for each pkgpath, applies the
+// analyzer, and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &treeImporter{
+		root:    filepath.Join(testdata, "src"),
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  make(map[string]*load.Package),
+		loading: make(map[string]bool),
+	}
+	for _, pkgpath := range pkgpaths {
+		pkg, err := imp.load(pkgpath)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", pkgpath, err)
+		}
+		diags, err := analysis.Run(fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkgpath, err)
+		}
+		check(t, fset, pkg.Files, diags)
+	}
+}
+
+// treeImporter resolves fixture-tree imports, falling back to the
+// standard library.
+type treeImporter struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	loaded  map[string]*load.Package
+	loading map[string]bool
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := ti.load(path); err == nil {
+		return pkg.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return ti.std.Import(path)
+}
+
+func (ti *treeImporter) load(path string) (*load.Package, error) {
+	if pkg, ok := ti.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ti.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ti.loading[path] = true
+	defer delete(ti.loading, path)
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	pkg, err := load.Unit(ti.fset, ti, path, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	ti.loaded[path] = pkg
+	return pkg, nil
+}
+
+// expectation is one `want` regexp at a line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses the payload of a want comment: a sequence of
+// backquoted or double-quoted Go string literals.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s)
+			}
+			lit = s[1 : 1+end]
+			s = s[end+2:]
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				return append(out, s)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				lit = rest[:end]
+			} else {
+				lit = unq
+			}
+			s = s[end+2:]
+		default:
+			return append(out, strings.TrimSpace(s))
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+// Package astutil holds the small resolution helpers the authlint
+// analyzers share: callee lookup, package matching, and sync.Mutex /
+// sync.RWMutex lock-call classification.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// Callee resolves the called function or method object of call, or nil
+// for indirect calls through function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// PkgBase returns the last element of the package's import path
+// ("authdb/internal/wire" -> "wire"); fixtures load with single-element
+// paths so analyzers match on the base.
+func PkgBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	return path.Base(pkg.Path())
+}
+
+// IsPkgFunc reports whether fn is a package-level function (or method)
+// named name declared in a package whose import-path base is pkgBase.
+func IsPkgFunc(fn *types.Func, pkgBase, name string) bool {
+	return fn != nil && fn.Name() == name && PkgBase(fn.Pkg()) == pkgBase
+}
+
+// LockKind classifies a mutex method call.
+type LockKind int
+
+const (
+	NotLock LockKind = iota
+	Lock             // exclusive acquire
+	Unlock           // exclusive release
+	RLock            // shared acquire
+	RUnlock          // shared release
+)
+
+// Write reports whether k is the exclusive acquire.
+func (k LockKind) Write() bool { return k == Lock }
+
+// ClassifyLockCall recognizes calls to (*sync.Mutex) / (*sync.RWMutex)
+// Lock/Unlock/RLock/RUnlock and returns the receiver expression (the
+// mutex) and the kind; NotLock otherwise.
+func ClassifyLockCall(info *types.Info, call *ast.CallExpr) (ast.Expr, LockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, NotLock
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, NotLock
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, NotLock
+	}
+	name := recv.Type().String()
+	if name != "*sync.Mutex" && name != "*sync.RWMutex" {
+		return nil, NotLock
+	}
+	switch fn.Name() {
+	case "Lock":
+		return sel.X, Lock
+	case "Unlock":
+		return sel.X, Unlock
+	case "RLock":
+		return sel.X, RLock
+	case "RUnlock":
+		return sel.X, RUnlock
+	}
+	return nil, NotLock
+}
+
+// MutexKey renders the mutex expression to a canonical comparison key:
+// the same lexical expression (modulo whitespace) maps to the same key,
+// so `qs.topo` locked at the top of a function matches `qs.topo`
+// unlocked at the bottom.
+func MutexKey(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// SelectsField reports whether expr (possibly through index/paren
+// wrappers) selects a struct field with one of the given names, and
+// returns that name: `qs.epochs[i]` selects "epochs", `s.cache`
+// selects "cache".
+func SelectsField(info *types.Info, expr ast.Expr, names ...string) (string, bool) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			sel := info.Selections[e]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return "", false
+			}
+			field := sel.Obj().Name()
+			for _, n := range names {
+				if field == n {
+					return n, true
+				}
+			}
+			// Walk outward: x.inner.epochs still selects "epochs"
+			// at the top level only; stop here.
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// EnclosingFuncs pairs every function declaration and function literal
+// in the file with its body for analyzers that treat each as a unit.
+type FuncUnit struct {
+	Name string // display name; "func literal" for FuncLits
+	Decl *ast.FuncDecl
+	Body *ast.BlockStmt
+	Type *ast.FuncType
+}
+
+// Functions yields every declared function with a body in f. Function
+// literals are not included — analyzers that need them handle nesting
+// themselves.
+func Functions(f *ast.File) []FuncUnit {
+	var out []FuncUnit
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, FuncUnit{Name: fd.Name.Name, Decl: fd, Body: fd.Body, Type: fd.Type})
+		}
+	}
+	return out
+}
+
+// LockSummary is the net structural lock effect of calling a function:
+// the write locks its body acquires without releasing (lockAll-style
+// helpers) and releases without acquiring (unlockAll).
+type LockSummary struct {
+	Acquires map[string]bool
+	Releases map[string]bool
+}
+
+// LockSummaries records the net lock effect of every declared function
+// in the files (one level deep — helpers that call Lock/Unlock
+// directly; deferred releases are excluded because they happen at the
+// helper's exit for its own locks, not the caller's).
+func LockSummaries(info *types.Info, files []*ast.File) map[*types.Func]LockSummary {
+	out := make(map[*types.Func]LockSummary)
+	for _, f := range files {
+		for _, fn := range Functions(f) {
+			locked := map[string]bool{}
+			unlocked := map[string]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				mu, kind := ClassifyLockCall(info, call)
+				switch kind {
+				case Lock:
+					locked[MutexKey(mu)] = true
+				case Unlock:
+					unlocked[MutexKey(mu)] = true
+				}
+				return true
+			})
+			sum := LockSummary{Acquires: map[string]bool{}, Releases: map[string]bool{}}
+			for k := range locked {
+				if !unlocked[k] {
+					sum.Acquires[k] = true
+				}
+			}
+			for k := range unlocked {
+				if !locked[k] {
+					sum.Releases[k] = true
+				}
+			}
+			if len(sum.Acquires) > 0 || len(sum.Releases) > 0 {
+				if obj, ok := info.Defs[fn.Decl.Name].(*types.Func); ok {
+					out[obj] = sum
+				}
+			}
+		}
+	}
+	return out
+}

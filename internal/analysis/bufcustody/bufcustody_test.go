@@ -1,0 +1,12 @@
+package bufcustody_test
+
+import (
+	"testing"
+
+	"authdb/internal/analysis/analysistest"
+	"authdb/internal/analysis/bufcustody"
+)
+
+func TestBufCustody(t *testing.T) {
+	analysistest.Run(t, "testdata", bufcustody.Analyzer, "codec")
+}

@@ -1,0 +1,295 @@
+// Package lockblock implements the authlint analyzer forbidding
+// blocking operations inside a write-lock critical section of the
+// serving core: while a shard (or topology / summary / cache) mutex is
+// held exclusively, every reader is stalled, so the critical section
+// must be bounded compute — no network I/O, no fsync, no channel
+// operations that can block, no unbounded waits. The PR 3 serving
+// design depends on this: the answer cache's build callback runs
+// outside the core locks precisely so a slow encode can never stall
+// invalidation.
+//
+// The analyzer applies to packages named "core" or "anscache" (the
+// packages whose locks sit on the serving hot path). Blocking
+// operations recognized inside a held write-lock region:
+//
+//   - channel send/receive outside a select with a default case
+//   - select statements without a default case
+//   - time.Sleep
+//   - sync.WaitGroup.Wait / sync.Cond.Wait
+//   - net.Conn Read/Write, net.Dial*, net.Listen*
+//   - (*os.File).Sync and the os file helpers (WriteFile, ReadFile,
+//     Open, Create, Rename, Remove)
+//   - (*bufio.Writer).Flush and wire frame I/O (WriteFrame/ReadFrame*)
+package lockblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"authdb/internal/analysis"
+	"authdb/internal/analysis/astutil"
+)
+
+// Analyzer is the lockblock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockblock",
+	Doc:  "check that no blocking call happens while a core write lock is held",
+	Run:  run,
+}
+
+// checkedPkgs are the import-path bases whose locks are hot-path.
+var checkedPkgs = map[string]bool{"core": true, "anscache": true}
+
+type checker struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	summaries map[*types.Func]astutil.LockSummary
+}
+
+func run(pass *analysis.Pass) error {
+	if !checkedPkgs[astutil.PkgBase(pass.Pkg)] {
+		return nil
+	}
+	c := &checker{
+		pass:      pass,
+		info:      pass.TypesInfo,
+		summaries: astutil.LockSummaries(pass.TypesInfo, pass.Files),
+	}
+	for _, f := range pass.Files {
+		for _, fn := range astutil.Functions(f) {
+			c.walkStmts(fn.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func intersect(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := cloneSet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, s := range stmts {
+		held = c.walkStmt(s, held)
+	}
+	return held
+}
+
+func (c *checker) walkStmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, held)
+		return c.applyLockEffects(s.X, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.checkExpr(r, held)
+			held = c.applyLockEffects(r, held)
+		}
+		return held
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.pass.Reportf(s.Pos(), "channel send while a write lock is held can block every reader of the lock")
+		}
+		return held
+	case *ast.DeferStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(fl.Body.List, map[string]bool{})
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, held)
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		c.checkExpr(s.Cond, held)
+		held = c.applyLockEffects(s.Cond, held)
+		thenHeld := c.walkStmts(s.Body.List, cloneSet(held))
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = c.walkStmt(s.Else, cloneSet(held))
+		}
+		return intersect(thenHeld, elseHeld)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		body := c.walkStmts(s.Body.List, cloneSet(held))
+		return union(held, body)
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, held)
+		body := c.walkStmts(s.Body.List, cloneSet(held))
+		return union(held, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.walkStmt(s.Init, held)
+		}
+		return c.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		return c.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefaultClause(s.Body) {
+			c.pass.Reportf(s.Pos(), "select without a default case while a write lock is held can block every reader of the lock")
+		}
+		return c.walkClauses(s.Body, held)
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, held)
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.walkStmts(fl.Body.List, map[string]bool{})
+		}
+		return held
+	}
+	return held
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) walkClauses(body *ast.BlockStmt, held map[string]bool) map[string]bool {
+	nonBlocking := hasDefaultClause(body)
+	out := cloneSet(held)
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+			// The comm op itself is non-blocking only when the select
+			// has a default; a blocking select was reported above.
+			_ = nonBlocking
+		}
+		out = intersect(out, c.walkStmts(stmts, cloneSet(held)))
+	}
+	return out
+}
+
+func (c *checker) applyLockEffects(e ast.Expr, held map[string]bool) map[string]bool {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if mu, kind := astutil.ClassifyLockCall(c.info, call); kind != astutil.NotLock {
+			key := astutil.MutexKey(mu)
+			switch kind {
+			case astutil.Lock:
+				held[key] = true
+			case astutil.Unlock:
+				delete(held, key)
+			}
+			return true
+		}
+		if fn := astutil.Callee(c.info, call); fn != nil {
+			if sum, ok := c.summaries[fn]; ok {
+				for k := range sum.Acquires {
+					held[k] = true
+				}
+				for k := range sum.Releases {
+					delete(held, k)
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// checkExpr reports blocking operations in e while locks are held.
+func (c *checker) checkExpr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.pass.Reportf(n.Pos(), "channel receive while a write lock is held can block every reader of the lock")
+			}
+		case *ast.CallExpr:
+			if name, blocking := c.blockingCall(n); blocking {
+				c.pass.Reportf(n.Pos(), "blocking call %s while a write lock is held stalls every reader of the lock", name)
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as known-blocking.
+func (c *checker) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := astutil.Callee(c.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch pkg {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if name == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return "sync ... Wait", true
+		}
+	case "net":
+		switch name {
+		case "Read", "Write", "Dial", "DialTimeout", "DialTCP", "Listen", "ListenTCP", "Accept":
+			return "net." + name, true
+		}
+	case "os":
+		switch name {
+		case "Sync", "WriteFile", "ReadFile", "Open", "Create", "Rename", "Remove":
+			return "os." + name, true
+		}
+	case "bufio":
+		if name == "Flush" {
+			return "bufio ... Flush", true
+		}
+	}
+	if astutil.PkgBase(fn.Pkg()) == "wire" {
+		switch name {
+		case "WriteFrame", "ReadFrame", "ReadFrameHeader", "ReadFramePayload":
+			return "wire." + name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"authdb/internal/analysis/analysistest"
+	"authdb/internal/analysis/lockblock"
+)
+
+func TestLockBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", lockblock.Analyzer, "core")
+}

@@ -1,0 +1,77 @@
+// Fixtures for the lockblock analyzer: no blocking operation (channel
+// ops, sleeps, frame I/O, fsync) while a core write lock is held —
+// every reader of the lock would stall behind it.
+package core
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"wire"
+)
+
+type S struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (s *S) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call time.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *S) badSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send while a write lock is held`
+}
+
+func (s *S) badRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while a write lock is held`
+}
+
+func (s *S) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without a default case`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+func (s *S) badFrame(w io.Writer, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wire.WriteFrame(w, b) // want `blocking call wire.WriteFrame`
+}
+
+// okOutside: the lock is released before the blocking call.
+func (s *S) okOutside() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// okNonBlockingSelect: a default case makes the channel op non-blocking.
+func (s *S) okNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// okGoroutine: a spawned goroutine does not inherit the caller's locks.
+func (s *S) okGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+}

@@ -1,0 +1,12 @@
+package lockepoch_test
+
+import (
+	"testing"
+
+	"authdb/internal/analysis/analysistest"
+	"authdb/internal/analysis/lockepoch"
+)
+
+func TestLockEpoch(t *testing.T) {
+	analysistest.Run(t, "testdata", lockepoch.Analyzer, "core")
+}

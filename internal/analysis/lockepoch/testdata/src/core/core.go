@@ -1,0 +1,79 @@
+// Fixtures for the lockepoch analyzer: epoch counters (fields named
+// epochs / sumEpoch) may only Add under a structurally-held write lock,
+// and may never Store. badBump is the historical shape the PR 3 cache
+// design guards against: a bump outside the critical section lets a
+// reader stamp an answer with a stale epoch and revalidate it forever.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type QS struct {
+	mu       sync.RWMutex
+	shardMu  []sync.RWMutex
+	epochs   []atomic.Uint64
+	sumEpoch atomic.Uint64
+}
+
+func (qs *QS) goodBump(i int) {
+	qs.shardMu[i].Lock()
+	qs.epochs[i].Add(1)
+	qs.shardMu[i].Unlock()
+}
+
+func (qs *QS) goodDeferredBump() {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.sumEpoch.Add(1)
+}
+
+func (qs *QS) badBump(i int) {
+	qs.epochs[i].Add(1) // want `advanced outside a write-lock critical section`
+}
+
+func (qs *QS) badStore() {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	qs.sumEpoch.Store(42) // want `sumEpoch is a monotonic epoch counter`
+}
+
+func (qs *QS) lockAll()   { qs.mu.Lock() }
+func (qs *QS) unlockAll() { qs.mu.Unlock() }
+
+// helperBump acquires through a same-package helper; the analyzer
+// applies the helper's net lock effect.
+func (qs *QS) helperBump() {
+	qs.lockAll()
+	qs.sumEpoch.Add(1)
+	qs.unlockAll()
+}
+
+// loopBump is the lock-every-touched-shard pattern: locks acquired
+// inside one loop are still held in the next.
+func (qs *QS) loopBump(touched []int) {
+	for _, i := range touched {
+		qs.shardMu[i].Lock()
+	}
+	for _, i := range touched {
+		qs.epochs[i].Add(1)
+	}
+	for _, i := range touched {
+		qs.shardMu[i].Unlock()
+	}
+}
+
+// annotatedBump documents that its caller holds the shard lock.
+//
+//authlint:locked caller holds the shard write lock
+func (qs *QS) annotatedBump(i int) {
+	qs.epochs[i].Add(1)
+}
+
+// unlockThenBump releases before bumping: the held set is empty again.
+func (qs *QS) unlockThenBump() {
+	qs.mu.Lock()
+	qs.mu.Unlock()
+	qs.sumEpoch.Add(1) // want `advanced outside a write-lock critical section`
+}

@@ -1,0 +1,12 @@
+package nocachesign_test
+
+import (
+	"testing"
+
+	"authdb/internal/analysis/analysistest"
+	"authdb/internal/analysis/nocachesign"
+)
+
+func TestNoCacheSign(t *testing.T) {
+	analysistest.Run(t, "testdata", nocachesign.Analyzer, "bas")
+}

@@ -1,0 +1,48 @@
+// Fixtures for the nocachesign analyzer: the PR 8 BAS fast path keeps
+// verifier cache state (fields named cache / tables) out of the signer
+// entry points Sign / SignBatch / AggregateInto, directly and
+// transitively.
+package bas
+
+type pointCache struct{ m map[string]int }
+
+type tableCache struct{ m map[string]int }
+
+type Scheme struct {
+	cache  *pointCache
+	tables *tableCache
+}
+
+// decodeCached is verifier-side: reading the cache here is fine.
+func (s *Scheme) decodeCached(x int) int {
+	if v, ok := s.cache.m["k"]; ok {
+		return v
+	}
+	return x
+}
+
+// Add is a verification-path function; it may use the cache.
+func (s *Scheme) Add(x int) int {
+	return s.decodeCached(x)
+}
+
+// Sign reaches the cache transitively through decodeCached.
+func (s *Scheme) Sign(x int) int { // want `signer entry point reaches verifier cache state: Sign → decodeCached touches`
+	return s.decodeCached(x)
+}
+
+// AggregateInto touches the per-key tables directly.
+func (s *Scheme) AggregateInto(x int) int { // want `signer entry point reaches verifier cache state: AggregateInto touches`
+	return s.tables.m["k"] + x
+}
+
+func hashOnly(x int) int { return x * 3 }
+
+// SignBatch stays cache-free: no finding.
+func (s *Scheme) SignBatch(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += hashOnly(x)
+	}
+	return t
+}

@@ -1,0 +1,83 @@
+// Package retryclass implements the authlint analyzer enforcing the
+// PR 6 retry-boundary contract: every error internal/client constructs
+// must be classified — it must wrap (%w) one of the sentinel classes
+// (ErrServer / ErrCorrupt / ErrDiverged / ErrConfig / a transport
+// error) so the retry policy can tell fatal from retryable. A naked
+// errors.New or fmt.Errorf without %w inside a function body creates an
+// unclassifiable error that the backoff loop treats as fatal by
+// accident; exactly this pattern caused honest sessions to die during
+// the PR 6 chaos soak.
+//
+// Package-level `var ErrX = errors.New(...)` sentinel declarations are
+// the one legitimate use of errors.New and are exempt. The analyzer
+// applies only to packages named "client".
+package retryclass
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"authdb/internal/analysis"
+	"authdb/internal/analysis/astutil"
+)
+
+// Analyzer is the retryclass pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "retryclass",
+	Doc:  "check that client errors wrap a sentinel class (%w) at the retry boundary",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if astutil.PkgBase(pass.Pkg) != "client" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Walk only function bodies: package-level sentinel
+		// declarations legitimately call errors.New / fmt.Errorf.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return false
+			case *ast.GenDecl:
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := astutil.Callee(pass.TypesInfo, call)
+		switch {
+		case astutil.IsPkgFunc(fn, "errors", "New"):
+			pass.Reportf(call.Pos(),
+				"unclassified error crosses the retry boundary: errors.New inside a function; wrap a sentinel class with fmt.Errorf(\"...: %%w\", Err...) or declare a package-level sentinel")
+		case astutil.IsPkgFunc(fn, "fmt", "Errorf"):
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf with a non-constant format: cannot prove the error wraps a sentinel class; use a string literal containing %%w")
+				return true
+			}
+			if !strings.Contains(lit.Value, "%w") {
+				pass.Reportf(call.Pos(),
+					"unclassified error crosses the retry boundary: fmt.Errorf without %%w; wrap ErrServer/ErrCorrupt/ErrDiverged/ErrConfig or the underlying transport error")
+			}
+		}
+		return true
+	})
+}

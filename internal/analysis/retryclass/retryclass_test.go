@@ -1,0 +1,12 @@
+package retryclass_test
+
+import (
+	"testing"
+
+	"authdb/internal/analysis/analysistest"
+	"authdb/internal/analysis/retryclass"
+)
+
+func TestRetryClass(t *testing.T) {
+	analysistest.Run(t, "testdata", retryclass.Analyzer, "client")
+}

@@ -1,0 +1,48 @@
+// Fixtures for the retryclass analyzer. unclassifiedSummary is the
+// historical regression: the PR 6 chaos soak killed honest sessions
+// because an error constructed without a sentinel class fell through
+// the classifier.
+package client
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are the one legitimate use of
+// errors.New: exempt.
+var ErrServer = errors.New("client: server error")
+
+// ErrOverloaded wraps a sentinel at package level: also exempt.
+var ErrOverloaded = fmt.Errorf("%w: overloaded", ErrServer)
+
+// unclassifiedSummary is the PR 6 regression shape: a summary-bridge
+// failure constructed without wrapping any sentinel class, so the
+// retry policy cannot tell fatal from retryable.
+func unclassifiedSummary(seq int) error {
+	return fmt.Errorf("client: summary %d unavailable from answers and server", seq) // want `fmt.Errorf without %w`
+}
+
+func nakedNew() error {
+	return errors.New("boom") // want `errors.New inside a function`
+}
+
+func nonConstantFormat(format string) error {
+	return fmt.Errorf(format) // want `non-constant format`
+}
+
+// classified wraps a sentinel: fine.
+func classified(seq int) error {
+	return fmt.Errorf("%w: summary %d unavailable", ErrServer, seq)
+}
+
+// passthrough re-wraps an underlying (already classified) error: fine.
+func passthrough(err error) error {
+	return fmt.Errorf("client: query: %w", err)
+}
+
+// suppressed demonstrates a justified ignore directive.
+func suppressed() error {
+	//authlint:ignore retryclass fixture demonstrating a justified suppression
+	return errors.New("deliberately unclassified")
+}

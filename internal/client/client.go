@@ -118,7 +118,7 @@ type Client struct {
 // Dial connects to a query server at addr.
 func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.Scheme == nil || cfg.Pub == nil {
-		return nil, fmt.Errorf("client: scheme and public key are required")
+		return nil, fmt.Errorf("%w: scheme and public key are required", ErrConfig)
 	}
 	if cfg.Protocol == (core.Config{}) {
 		cfg.Protocol = core.DefaultConfig()
@@ -365,6 +365,11 @@ func (c *Client) readFrame() ([]byte, error) {
 	c.stats.BytesIn += uint64(len(data)) + 4
 	return data, nil
 }
+
+// ErrConfig reports an invalid session configuration detected before
+// any network traffic. It is deterministic — the same arguments fail
+// the same way — so the retry machinery treats it as fatal.
+var ErrConfig = errors.New("client: invalid configuration")
 
 // ErrServer wraps error responses the server sent ('E' frames).
 var ErrServer = errors.New("client: server error")
@@ -648,7 +653,11 @@ func (c *Client) bridgeSummaries(answers []*core.Answer) error {
 				}
 			}
 			if s, ok = bySeq[seq]; !ok {
-				return fmt.Errorf("client: summary %d unavailable from answers and server", seq)
+				// The server answered the range request but omitted a
+				// summary it is obligated to serve: an incomplete or
+				// garbled response stream. Classified as corruption so
+				// the session reconnects (and, in a fleet, fails over).
+				return fmt.Errorf("%w: summary %d unavailable from answers and server", wire.ErrCorrupt, seq)
 			}
 		}
 		if err := c.verifier.IngestSummary(*s); err != nil {

@@ -33,7 +33,7 @@ var ErrAllQuarantined = errors.New("client: every replica in the set is quaranti
 // servers never widens what the session accepts.
 func DialFleet(addrs []string, cfg Config) (*Client, error) {
 	if len(addrs) == 0 {
-		return nil, fmt.Errorf("client: empty replica set")
+		return nil, fmt.Errorf("%w: empty replica set", ErrConfig)
 	}
 	var lastErr error
 	for i, addr := range addrs {

@@ -104,6 +104,9 @@ func classify(err error) retryClass {
 	case errors.Is(err, ErrDiverged):
 		// Rollback evidence must never be retried away.
 		return rcFatal
+	case errors.Is(err, ErrConfig):
+		// Bad arguments fail identically on every attempt.
+		return rcFatal
 	case errors.Is(err, ErrOverloaded):
 		return rcBackoff
 	case errors.Is(err, ErrBadFrame):

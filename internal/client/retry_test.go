@@ -53,6 +53,7 @@ func TestClassify(t *testing.T) {
 		want retryClass
 	}{
 		{fmt.Errorf("q: %w", ErrDiverged), rcFatal},
+		{fmt.Errorf("q: %w", ErrConfig), rcFatal},
 		{fmt.Errorf("q: %w", ErrOverloaded), rcBackoff},
 		{fmt.Errorf("q: %w", ErrBadFrame), rcReconnect},
 		{fmt.Errorf("q: %w", ErrServer), rcFatal},
@@ -60,6 +61,7 @@ func TestClassify(t *testing.T) {
 		{io.EOF, rcReconnect},
 		{io.ErrUnexpectedEOF, rcReconnect},
 		{&net.OpError{Op: "read", Err: os.ErrDeadlineExceeded}, rcReconnect},
+		//authlint:ignore retryclass deliberately unclassified error asserting the transport fallback branch of classify
 		{errors.New("dial tcp: connection refused"), rcReconnect},
 	}
 	for _, c := range cases {
