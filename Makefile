@@ -3,7 +3,7 @@ GO      ?= go
 # the default keeps local/CI runs short).
 BENCH_N ?= 100000
 
-.PHONY: all build test race vet lint authlint bench proof ingest serve bench-serve bench-net bench-wal bench-chaos bench-fleet bench-verify clean
+.PHONY: all build test race vet lint authlint bench proof ingest serve bench-serve bench-net bench-wal bench-chaos bench-fleet bench-verify bench-query clean
 
 all: build vet lint test
 
@@ -86,10 +86,17 @@ bench-fleet:
 bench-verify:
 	$(GO) run ./cmd/authbench verify -check
 
+# Emit BENCH_query.json (select-project-join plans over a 2-relation
+# catalog: verified wire traffic with cache-invalidation assertions +
+# planner speedup, pushdown+parallel vs naive serial; non-zero exit
+# unless every accepted row's composite VO verified).
+bench-query:
+	$(GO) run ./cmd/authbench query -check
+
 # Run the networked serving daemon (Ctrl-C drains gracefully).
 serve:
 	$(GO) run ./cmd/authserve serve -n $(BENCH_N)
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json BENCH_chaos.json BENCH_fleet.json BENCH_verify.json
+	rm -f BENCH_proof.json BENCH_ingest.json BENCH_serve.json BENCH_net.json BENCH_chaos.json BENCH_fleet.json BENCH_verify.json BENCH_query.json

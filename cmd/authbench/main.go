@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"chaos", "hostile-network soak: faults, kills, overload shedding (writes BENCH_chaos.json)", runChaos},
 	{"fleet", "untrusted replica fleet soak: failover, Byzantine replica detection (writes BENCH_fleet.json)", runFleet},
 	{"verify", "BAS verification fast path vs portable oracle (writes BENCH_verify.json)", runVerifyBench},
+	{"query", "select-project-join plans: verified wire traffic + planner speedup (writes BENCH_query.json)", runQueryBench},
 }
 
 func main() {

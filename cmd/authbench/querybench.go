@@ -1,0 +1,455 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/join"
+	"authdb/internal/query"
+	"authdb/internal/server"
+)
+
+// queryReport is BENCH_query.json: the select-project-join plan surface
+// driven end to end — mixed verified traffic over loopback TCP against
+// a live-updated two-relation catalog, then the executor speedup of the
+// streaming planner (predicate pushdown + parallel probes) over a naive
+// serial full-scan plan.
+type queryReport struct {
+	Scheme     string `json:"scheme"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OuterN     int    `json:"outer_n"`
+	InnerN     int    `json:"inner_n"`
+	Short      bool   `json:"short"`
+
+	Wire queryWireStats `json:"wire"`
+	Exec queryExecStats `json:"exec"`
+}
+
+// queryWireStats covers the verified wire phase. Every counted plan was
+// accepted only after full composite-VO verification client-side; a
+// single verification or freshness failure is a red run.
+type queryWireStats struct {
+	Plans          uint64 `json:"plans"`
+	LegacyQueries  uint64 `json:"legacy_queries"`
+	Errors         uint64 `json:"errors"`
+	JoinMatches    uint64 `json:"join_matches"`
+	BFNegatives    uint64 `json:"bf_negatives"`
+	BFFallbacks    uint64 `json:"bf_fallbacks"`
+	Boundaries     uint64 `json:"boundaries"`
+	AttrSigs       uint64 `json:"attr_sigs_verified"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheBuilt     uint64 `json:"cache_built"`
+	Invalidations  uint64 `json:"cache_invalidations"`
+	InvalidationOK bool   `json:"invalidation_observed"`
+}
+
+// queryExecStats is the planner speedup measurement. Speedup compares
+// the full optimized executor (pushdown + parallel subplans) against
+// the naive serial baseline (full-domain scan, residual filter, serial
+// probes); ParallelOnly isolates the worker-pool contribution on
+// identical pushdown plans and is reported, not asserted — on a
+// single-core host it is ~1 and the pushdown carries the win.
+type queryExecStats struct {
+	Reps          int     `json:"reps"`
+	OptimizedQPS  float64 `json:"optimized_qps"`
+	NaiveQPS      float64 `json:"naive_serial_qps"`
+	Speedup       float64 `json:"speedup"`
+	ParallelOnly  float64 `json:"parallel_only_speedup"`
+	OptimizedMS   float64 `json:"optimized_ms_total"`
+	NaiveSerialMS float64 `json:"naive_serial_ms_total"`
+}
+
+// runQueryBench drives the "query" experiment.
+func runQueryBench(args []string) error {
+	fs := newFlags("query")
+	schemeName := fs.String("scheme", "bas", "scheme (bas, crsa, xortest)")
+	n := fs.Int("n", 20_000, "outer relation size")
+	joinEvery := fs.Int("join-every", 3, "inner relation holds every k-th outer key")
+	span := fs.Int("span", 200, "selection width in outer records per plan query")
+	durMS := fs.Int("dur", 1500, "wire-phase duration (ms)")
+	reps := fs.Int("reps", 60, "executor reps per arm in the speedup phase")
+	filterBits := fs.Float64("filter-bits", 2, "Bloom bits per key (low on purpose: false positives exercise the boundary fallback)")
+	short := fs.Bool("short", false, "CI smoke mode: tiny relation, short windows")
+	check := fs.Bool("check", false, "hard-fail unless every accepted answer verified, BF fallbacks were exercised, the mid-run update invalidated the cached join with zero freshness violations, and the optimized executor is >=2x the naive serial baseline")
+	out := fs.String("out", "BENCH_query.json", "output JSON path (empty to skip)")
+	validate := fs.String("validate", "", "validate an existing BENCH_query.json and exit")
+	if args != nil {
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+	}
+	if *validate != "" {
+		return checkQueryJSON(*validate)
+	}
+	if *short {
+		*n = 3_000
+		*durMS = 300
+		*reps = 15
+		*span = 80
+	}
+	scheme, err := schemeFromFlag(*schemeName)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+
+	// Two-relation catalog: outer "o" in projection mode, inner "i"
+	// holding every joinEvery-th outer key. Deliberately few Bloom bits
+	// per key force false positives, so the BV fallback path is hot.
+	cat, err := core.NewCatalog(scheme, core.DefaultConfig(), 0)
+	if err != nil {
+		return err
+	}
+	outer, err := cat.AddRelation("o", nil, []core.DAOption{core.WithAttrSigning()}, []core.Option{core.WithShards(64)})
+	if err != nil {
+		return err
+	}
+	inner, err := cat.AddRelation("i", nil, nil, []core.Option{core.WithShards(64)})
+	if err != nil {
+		return err
+	}
+	var orecs, irecs []*core.Record
+	for i := 1; i <= *n; i++ {
+		k := int64(i) * 10
+		orecs = append(orecs, &core.Record{Key: k, Attrs: [][]byte{
+			[]byte(fmt.Sprintf("name-%d", k)), []byte(fmt.Sprintf("payload-%d", k)),
+		}})
+		if i%*joinEvery == 0 {
+			irecs = append(irecs, &core.Record{Key: k, Attrs: [][]byte{[]byte(fmt.Sprintf("i-%d", k))}})
+		}
+	}
+	fmt.Printf("query: loading catalog under %s (outer %d, inner %d records)...\n", scheme.Name(), len(orecs), len(irecs))
+	for _, p := range []struct {
+		rel  *core.Relation
+		recs []*core.Record
+	}{{outer, orecs}, {inner, irecs}} {
+		msg, err := p.rel.DA.Load(p.recs, 1)
+		if err != nil {
+			return err
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			return err
+		}
+		if msg, err = p.rel.DA.ClosePeriod(2); err != nil {
+			return err
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			return err
+		}
+	}
+	eng := query.NewEngine()
+	if err := eng.AddRelation("o", outer.QS); err != nil {
+		return err
+	}
+	if err := eng.AddRelation("i", inner.QS); err != nil {
+		return err
+	}
+	certify := func(ts int64) error {
+		fc, err := inner.DA.CertifyFilter(64, *filterBits, ts)
+		if err != nil {
+			return err
+		}
+		return eng.SetFilter("i", fc)
+	}
+	if err := certify(2); err != nil {
+		return err
+	}
+
+	rep := &queryReport{
+		Scheme:     scheme.Name(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OuterN:     *n,
+		InnerN:     len(irecs),
+		Short:      *short,
+	}
+	if err := runQueryWirePhase(rep, cat, outer, inner, eng, *n, *joinEvery, *span,
+		time.Duration(*durMS)*time.Millisecond, certify); err != nil {
+		return err
+	}
+	if err := runQuerySpeedupPhase(rep, outer, inner, *n, *span, *reps); err != nil {
+		return err
+	}
+
+	fmt.Printf("query: wire: %d plans + %d legacy queries verified, %d errors; %d matches, %d Bloom negatives, %d fallbacks; cache %d built / %d hits / %d invalidations\n",
+		rep.Wire.Plans, rep.Wire.LegacyQueries, rep.Wire.Errors, rep.Wire.JoinMatches,
+		rep.Wire.BFNegatives, rep.Wire.BFFallbacks, rep.Wire.CacheBuilt, rep.Wire.CacheHits, rep.Wire.Invalidations)
+	fmt.Printf("query: exec: optimized %.0f plans/s vs naive serial %.0f plans/s -> %.2fx (parallel-only %.2fx at GOMAXPROCS=%d)\n",
+		rep.Exec.OptimizedQPS, rep.Exec.NaiveQPS, rep.Exec.Speedup, rep.Exec.ParallelOnly, rep.GOMAXPROCS)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("query: wrote %s\n", *out)
+	}
+	if *check {
+		if err := assertQueryReport(rep); err != nil {
+			return fmt.Errorf("query: CHECK FAILED: %w", err)
+		}
+		fmt.Println("query: CHECK PASSED (all answers verified, BF fallbacks exercised, cached join invalidated, speedup >= 2x)")
+	}
+	return nil
+}
+
+// runQueryWirePhase serves the catalog over loopback TCP and drives
+// mixed verified traffic: select, select-project, BF join, BV join, and
+// legacy range queries, with a mid-run inner insert + filter
+// re-certification that must invalidate the cached join.
+func runQueryWirePhase(rep *queryReport, cat *core.Catalog, outer, inner *core.Relation,
+	eng *query.Engine, n, joinEvery, span int, dur time.Duration, certify func(int64) error) error {
+
+	srv := server.NewNetServer(outer.QS, server.NetConfig{})
+	srv.EnablePlans(eng)
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cl, err := client.Dial(ln.Addr().String(), client.Config{
+		Scheme:    cat.Pool().Scheme(),
+		Pub:       outer.Pub,
+		Relations: cat.PublicKeys(),
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	randSpec := func(mode int) *query.Spec {
+		loIdx := 1 + rng.Intn(n-span)
+		s := &query.Spec{Rel: "o", Lo: int64(loIdx)*10 - 5, Hi: int64(loIdx+span)*10 + 5}
+		switch mode {
+		case 0: // plain select
+		case 1:
+			s.Attrs = []int{0}
+		case 2:
+			s.Attrs = []int{0, 1}
+			s.Join = &query.JoinSpec{Rel: "i", Method: join.BF}
+		default:
+			s.Attrs = []int{1}
+			s.Join = &query.JoinSpec{Rel: "i", Method: join.BV}
+		}
+		return s
+	}
+	// One pinned hot plan rides along with the random traffic so the
+	// serving cache sees repeats even in a short window.
+	hot := randSpec(2)
+	deadline := time.Now().Add(dur)
+	mode, legacy := 0, uint64(0)
+	for time.Now().Before(deadline) {
+		spec := randSpec(mode)
+		if mode == 2 {
+			spec = hot
+		}
+		if _, err := cl.QueryPlan(spec); err != nil {
+			rep.Wire.Errors++
+			fmt.Fprintf(os.Stderr, "query: wire error: %v\n", err)
+		}
+		mode = (mode + 1) % 4
+		if mode == 0 {
+			// The one-relation protocol keeps serving the outer relation on
+			// the same connection.
+			loIdx := 1 + rng.Intn(n-span)
+			if _, _, err := cl.Query(int64(loIdx)*10-5, int64(loIdx+span)*10+5); err != nil {
+				rep.Wire.Errors++
+			} else {
+				legacy++
+			}
+		}
+	}
+
+	// Mid-run invalidation: pick an outer key absent from the inner
+	// relation, pin a BF-join plan over it (cached), then insert the key,
+	// close a period, re-certify the filter — the same plan must now come
+	// back with the key matched. A served stale cache entry would either
+	// miss the match or trip the client's freshness verification.
+	probeIdx := (n / 2 / joinEvery * joinEvery) + 1 // n/2-ish, not a joinEvery multiple
+	probeKey := int64(probeIdx) * 10
+	probe := &query.Spec{Rel: "o", Lo: probeKey - 55, Hi: probeKey + 45,
+		Attrs: []int{0}, Join: &query.JoinSpec{Rel: "i", Method: join.BF}}
+	hasMatch := func() (bool, error) {
+		comp, err := cl.QueryPlan(probe)
+		if err != nil {
+			rep.Wire.Errors++
+			return false, err
+		}
+		for _, m := range comp.Join.Matches {
+			if m.Lo == probeKey {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	matched, err := hasMatch()
+	if err != nil {
+		return err
+	}
+	if matched {
+		return fmt.Errorf("query: fixture: key %d already joined before the insert", probeKey)
+	}
+	ts := int64(1_000_000)
+	msg, err := inner.DA.Insert(&core.Record{Key: probeKey, Attrs: [][]byte{[]byte("late")}}, ts)
+	if err != nil {
+		return err
+	}
+	if err := inner.Deliver(msg); err != nil {
+		return err
+	}
+	if msg, err = inner.DA.ClosePeriod(ts + 1); err != nil {
+		return err
+	}
+	if err := inner.Deliver(msg); err != nil {
+		return err
+	}
+	if err := certify(ts + 1); err != nil {
+		return err
+	}
+	invBefore := eng.Stats().Cache.Invalidations
+	if matched, err = hasMatch(); err != nil {
+		return err
+	}
+	rep.Wire.InvalidationOK = matched && eng.Stats().Cache.Invalidations > invBefore
+
+	st := cl.Stats()
+	es := eng.Stats()
+	rep.Wire.Plans = st.Plans
+	rep.Wire.LegacyQueries = legacy
+	rep.Wire.JoinMatches = st.JoinMatches
+	rep.Wire.BFNegatives = st.JoinBFNegs
+	rep.Wire.BFFallbacks = st.JoinBFFalls
+	rep.Wire.Boundaries = st.JoinBounds
+	rep.Wire.AttrSigs = st.AttrSigsVerif
+	rep.Wire.CacheHits = es.Cache.Hits
+	rep.Wire.CacheBuilt = es.Cache.Built
+	rep.Wire.Invalidations = es.Cache.Invalidations
+	return nil
+}
+
+// runQuerySpeedupPhase times the optimized executor (pushdown +
+// parallel subplans) against the naive serial baseline (full-domain
+// scan, residual filter, serial probes) on identical specs, cache off —
+// this measures execution, not caching.
+func runQuerySpeedupPhase(rep *queryReport, outer, inner *core.Relation, n, span, reps int) error {
+	eng := query.NewEngine(query.WithoutCache())
+	if err := eng.AddRelation("o", outer.QS); err != nil {
+		return err
+	}
+	if err := eng.AddRelation("i", inner.QS); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	specs := make([]*query.Spec, reps)
+	for i := range specs {
+		loIdx := 1 + rng.Intn(n-span)
+		specs[i] = &query.Spec{Rel: "o", Lo: int64(loIdx)*10 - 5, Hi: int64(loIdx+span)*10 + 5,
+			Attrs: []int{0}, Join: &query.JoinSpec{Rel: "i", Method: join.BV}}
+	}
+	arm := func(pushdown, parallel bool) (time.Duration, error) {
+		t0 := time.Now()
+		for _, s := range specs {
+			plan, err := query.Plan(s, pushdown)
+			if err != nil {
+				return 0, err
+			}
+			if parallel {
+				_, err = eng.Execute(plan)
+			} else {
+				_, err = eng.ExecuteSerial(plan)
+			}
+			if err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	// Warm both paths once (shard caches, allocator) before timing.
+	if _, err := arm(true, true); err != nil {
+		return err
+	}
+	opt, err := arm(true, true)
+	if err != nil {
+		return err
+	}
+	serialPush, err := arm(true, false)
+	if err != nil {
+		return err
+	}
+	naive, err := arm(false, false)
+	if err != nil {
+		return err
+	}
+	rep.Exec.Reps = reps
+	rep.Exec.OptimizedMS = float64(opt.Microseconds()) / 1e3
+	rep.Exec.NaiveSerialMS = float64(naive.Microseconds()) / 1e3
+	rep.Exec.OptimizedQPS = float64(reps) / opt.Seconds()
+	rep.Exec.NaiveQPS = float64(reps) / naive.Seconds()
+	rep.Exec.Speedup = naive.Seconds() / opt.Seconds()
+	rep.Exec.ParallelOnly = serialPush.Seconds() / opt.Seconds()
+	return nil
+}
+
+// assertQueryReport is the -check gate.
+func assertQueryReport(rep *queryReport) error {
+	w := rep.Wire
+	if w.Errors != 0 {
+		return fmt.Errorf("%d wire answers failed verification or freshness", w.Errors)
+	}
+	if w.Plans == 0 || w.LegacyQueries == 0 {
+		return fmt.Errorf("mixed traffic did not run (plans=%d legacy=%d)", w.Plans, w.LegacyQueries)
+	}
+	if w.JoinMatches == 0 || w.BFNegatives == 0 || w.BFFallbacks == 0 || w.Boundaries == 0 {
+		return fmt.Errorf("join proof paths not all exercised (matches=%d negatives=%d fallbacks=%d boundaries=%d)",
+			w.JoinMatches, w.BFNegatives, w.BFFallbacks, w.Boundaries)
+	}
+	if w.AttrSigs == 0 {
+		return fmt.Errorf("no attribute-level signatures verified")
+	}
+	if !w.InvalidationOK {
+		return fmt.Errorf("mid-run inner update did not invalidate the cached join")
+	}
+	if w.CacheHits == 0 {
+		return fmt.Errorf("plan cache never hit")
+	}
+	if rep.Exec.Speedup < 2 {
+		return fmt.Errorf("optimized executor only %.2fx over naive serial (want >= 2x)", rep.Exec.Speedup)
+	}
+	return nil
+}
+
+// checkQueryJSON validates an existing BENCH_query.json.
+func checkQueryJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep queryReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("query: %s is not valid JSON: %w", path, err)
+	}
+	if rep.GOMAXPROCS < 1 || rep.OuterN < 1 || rep.InnerN < 1 {
+		return fmt.Errorf("query: %s: missing environment fields", path)
+	}
+	if err := assertQueryReport(&rep); err != nil {
+		return fmt.Errorf("query: %s: %w", path, err)
+	}
+	fmt.Printf("query: %s is well-formed (%d verified plans, %.2fx optimized vs naive serial)\n",
+		path, rep.Wire.Plans, rep.Exec.Speedup)
+	return nil
+}

@@ -1,0 +1,451 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/join"
+	"authdb/internal/query"
+	"authdb/internal/server"
+	"authdb/internal/sigagg"
+	"authdb/internal/wal"
+	"authdb/internal/wire"
+)
+
+// catalogParams carries the serve-mode flags into the multi-relation
+// path (runServe parses them; see main.go).
+type catalogParams struct {
+	addr       string
+	schemeName string
+	keyseed    string
+	names      []string // relation names; names[0] is the outer relation
+	n          int      // outer relation size
+	joinEvery  int      // inner relations hold every k-th outer key
+	shards     int
+	cacheMB    int64
+	filterBits float64 // Bloom bits per key for inner-filter certification
+	updEveryMS float64
+	sumEvery   int
+	maxConns   int
+	idleSec    int
+	readSec    int
+	writeSec   int
+	statsAddr  string
+	dataDir    string
+	snapEvery  int
+	groupCommit time.Duration
+	noSync     bool
+}
+
+// relKeyRand derives one relation's deterministic demo key stream: the
+// relation name is folded into the seed so every relation gets its own
+// key pair (cryptographic domain separation) that a remote `authserve
+// query -catalog ...` with the same seed can re-derive.
+func relKeyRand(keyseed, schemeName, rel string) *detRand {
+	return newDetRand(keyseed + ":" + schemeName + ":" + rel)
+}
+
+// catalogRecords builds the synthetic catalog: the outer relation holds
+// keys 10, 20, …, 10n with two attribute slots; inner relation number j
+// (1-based) holds every joinEvery-th outer key with one slot — so joins
+// match a fixed, known fraction and the rest need non-match proofs.
+func catalogRecords(names []string, n, joinEvery int) map[string][]*core.Record {
+	out := make(map[string][]*core.Record, len(names))
+	for idx, name := range names {
+		var recs []*core.Record
+		for i := 1; i <= n; i++ {
+			k := int64(i) * 10
+			if idx == 0 {
+				recs = append(recs, &core.Record{Key: k, Attrs: [][]byte{
+					[]byte(fmt.Sprintf("name-%d", k)),
+					[]byte(fmt.Sprintf("payload-%d", k)),
+				}})
+			} else if i%joinEvery == 0 {
+				recs = append(recs, &core.Record{Key: k, Attrs: [][]byte{[]byte(fmt.Sprintf("%s-%d", name, k))}})
+			}
+		}
+		out[name] = recs
+	}
+	return out
+}
+
+// runServeCatalog is serve mode over a named-relation catalog: one
+// signing-pool-sharing owner per relation, a streaming planner wired to
+// every relation, and the 'J'/'P'/'T' plan surface enabled alongside
+// the single-relation protocol (which keeps serving the outer
+// relation). With -data, each relation write-ahead logs into its own
+// subdirectory and recovers independently.
+func runServeCatalog(p catalogParams) error {
+	scheme, err := schemeByName(p.schemeName)
+	if err != nil {
+		return err
+	}
+	cat, err := core.NewCatalog(scheme, core.DefaultConfig(), 0)
+	if err != nil {
+		return err
+	}
+	rels := make([]*core.Relation, 0, len(p.names))
+	stores := make([]*wal.Store, len(p.names))
+	for i, name := range p.names {
+		daOpts := []core.DAOption{}
+		if i == 0 {
+			// The outer relation signs attribute-stripped records plus
+			// per-attribute signatures, so projections verify (§3.4).
+			daOpts = append(daOpts, core.WithAttrSigning())
+		}
+		rel, err := cat.AddRelation(name, relKeyRand(p.keyseed, p.schemeName, name),
+			daOpts, []core.Option{core.WithShards(p.shards)})
+		if err != nil {
+			return err
+		}
+		rels = append(rels, rel)
+		if p.dataDir != "" {
+			store, err := wal.Open(filepath.Join(p.dataDir, name),
+				wal.Options{GroupCommit: p.groupCommit, NoSync: p.noSync})
+			if err != nil {
+				return fmt.Errorf("open durable state for %q: %w", name, err)
+			}
+			defer store.Close()
+			stores[i] = store
+		}
+	}
+
+	// Load or recover each relation.
+	baseTS := int64(1)
+	recsByRel := catalogRecords(p.names, p.n, p.joinEvery)
+	for i, rel := range rels {
+		if stores[i] != nil && !stores[i].Empty() {
+			stats, err := stores[i].Recover(rel.DA, rel.QS)
+			if err != nil {
+				return fmt.Errorf("recover %q: %w", rel.Name, err)
+			}
+			st := rel.QS.Snapshot()
+			for _, sr := range st.Records {
+				if sr.Rec.TS > baseTS {
+					baseTS = sr.Rec.TS
+				}
+			}
+			for _, s := range st.Summaries {
+				if s.TS > baseTS {
+					baseTS = s.TS
+				}
+			}
+			fmt.Printf("authserve: relation %q: recovered %d records, %d summaries (%d replayed)\n",
+				rel.Name, len(st.Records), len(st.Summaries), stats.Replayed)
+			if stats.Replayed > 0 || stats.Skipped > 0 {
+				snap, err := wal.Capture(rel.DA, rel.QS, stores[i].LastLSN(), baseTS)
+				if err != nil {
+					return err
+				}
+				if err := stores[i].WriteSnapshot(snap); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		msg, err := rel.DA.Load(recsByRel[rel.Name], 1)
+		if err != nil {
+			return fmt.Errorf("load %q: %w", rel.Name, err)
+		}
+		if err := rel.Deliver(msg); err != nil {
+			return err
+		}
+		if msg, err = rel.DA.ClosePeriod(2); err != nil {
+			return err
+		}
+		if err := rel.Deliver(msg); err != nil {
+			return err
+		}
+		if baseTS < 2 {
+			baseTS = 2
+		}
+		if stores[i] != nil {
+			snap, err := wal.Capture(rel.DA, rel.QS, stores[i].LastLSN(), 2)
+			if err != nil {
+				return err
+			}
+			if err := stores[i].WriteSnapshot(snap); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("authserve: relation %q: loaded %d records\n", rel.Name, len(recsByRel[rel.Name]))
+	}
+
+	// The planner sees every relation; inner relations get a certified
+	// partitioned Bloom filter so BF joins have their fast negative path.
+	engOpts := []query.EngineOption{}
+	if p.cacheMB > 0 {
+		engOpts = append(engOpts, query.WithCacheBytes(p.cacheMB<<20))
+	} else {
+		engOpts = append(engOpts, query.WithoutCache())
+	}
+	eng := query.NewEngine(engOpts...)
+	for _, rel := range rels {
+		if err := eng.AddRelation(rel.Name, rel.QS); err != nil {
+			return err
+		}
+	}
+	certifyFilters := func(ts int64) error {
+		for _, rel := range rels[1:] {
+			fc, err := rel.DA.CertifyFilter(64, p.filterBits, ts)
+			if err != nil {
+				return fmt.Errorf("certify filter for %q: %w", rel.Name, err)
+			}
+			if err := eng.SetFilter(rel.Name, fc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := certifyFilters(baseTS); err != nil {
+		return err
+	}
+	if p.cacheMB > 0 {
+		if err := server.EnableCache(rels[0].QS, p.cacheMB<<20); err != nil {
+			return err
+		}
+	}
+
+	srv := server.NewNetServer(rels[0].QS, server.NetConfig{
+		MaxConns:     p.maxConns,
+		IdleTimeout:  time.Duration(p.idleSec) * time.Second,
+		ReadTimeout:  time.Duration(p.readSec) * time.Second,
+		WriteTimeout: time.Duration(p.writeSec) * time.Second,
+	})
+	srv.EnablePlans(eng)
+	ln, err := srv.Listen(p.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("authserve: listening on %s with catalog %v (outer %q: %d records; plan queries enabled)\n",
+		ln.Addr(), p.names, p.names[0], p.n)
+	if p.statsAddr != "" {
+		bound, stopStats, err := server.ServeMetrics(p.statsAddr,
+			srv.Metrics, server.QueryMetrics(eng), server.VerifyMetrics(scheme))
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			stopStats(ctx)
+		}()
+		fmt.Printf("authserve: metrics on http://%s/metrics\n", bound)
+	}
+
+	// Background writer: updates the outer relation each beat; every
+	// -summary-every updates it closes a ρ-period on every relation,
+	// re-certifies the inner Bloom filters at the close timestamp, and
+	// drips one new key into the last inner relation — so remote plan
+	// clients see join results change and cached composites invalidate.
+	stopWriter := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		if p.updEveryMS <= 0 {
+			return
+		}
+		logged := make([]int64, len(rels))
+		logMsg := func(i int, msg *core.UpdateMsg) error {
+			if stores[i] == nil {
+				return nil
+			}
+			if _, err := stores[i].AppendMsg(msg); err != nil {
+				return err
+			}
+			logged[i]++
+			if msg.Summary != nil {
+				return stores[i].Sync()
+			}
+			if p.snapEvery > 0 && logged[i] >= int64(p.snapEvery) {
+				logged[i] = 0
+				snap, err := wal.Capture(rels[i].DA, rels[i].QS, stores[i].LastLSN(), baseTS)
+				if err != nil {
+					return err
+				}
+				return stores[i].WriteSnapshot(snap)
+			}
+			return nil
+		}
+		apply := func(i int, msg *core.UpdateMsg) bool {
+			if err := logMsg(i, msg); err != nil {
+				fmt.Fprintf(os.Stderr, "authserve: wal append %q: %v\n", rels[i].Name, err)
+				return false
+			}
+			if err := rels[i].Deliver(msg); err != nil {
+				fmt.Fprintf(os.Stderr, "authserve: apply %q: %v\n", rels[i].Name, err)
+				return false
+			}
+			return true
+		}
+		tick := time.NewTicker(time.Duration(p.updEveryMS * float64(time.Millisecond)))
+		defer tick.Stop()
+		start := time.Now()
+		updates, nextIns := int64(0), 1
+		for {
+			select {
+			case <-stopWriter:
+				return
+			case <-tick.C:
+			}
+			ts := baseTS + time.Since(start).Milliseconds() + 2
+			key := int64((updates%int64(p.n))+1) * 10
+			msg, err := rels[0].DA.Update(key, [][]byte{
+				[]byte(fmt.Sprintf("name-%d-u%d", key, ts)),
+				[]byte(fmt.Sprintf("payload-%d-u%d", key, ts)),
+			}, ts)
+			if err != nil {
+				continue // non-monotonic ts under a coarse clock; skip the beat
+			}
+			if !apply(0, msg) {
+				return
+			}
+			updates++
+			if p.sumEvery > 0 && updates%int64(p.sumEvery) == 0 {
+				if len(rels) > 1 {
+					// Find the next outer key absent from the last inner
+					// relation and insert it: a cached join crossing it must
+					// be rebuilt, never re-served.
+					inner := rels[len(rels)-1]
+					for ; nextIns <= p.n; nextIns++ {
+						if nextIns%p.joinEvery == 0 {
+							continue
+						}
+						msg, err := inner.DA.Insert(&core.Record{
+							Key:   int64(nextIns) * 10,
+							Attrs: [][]byte{[]byte(fmt.Sprintf("%s-late-%d", inner.Name, nextIns*10))},
+						}, ts)
+						if err == nil {
+							if !apply(len(rels)-1, msg) {
+								return
+							}
+							nextIns++
+						}
+						break
+					}
+				}
+				closeTS := ts + 1
+				ok := true
+				for i, rel := range rels {
+					msg, err := rel.DA.ClosePeriod(closeTS)
+					if err != nil {
+						continue
+					}
+					if !apply(i, msg) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					return
+				}
+				if err := certifyFilters(closeTS); err != nil {
+					fmt.Fprintf(os.Stderr, "authserve: %v\n", err)
+					return
+				}
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("authserve: %v: draining...\n", s)
+	case err := <-serveErr:
+		close(stopWriter)
+		<-writerDone
+		return err
+	}
+	close(stopWriter)
+	<-writerDone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "authserve: forced shutdown: %v\n", err)
+	}
+	<-serveErr
+	st := srv.Stats()
+	es := eng.Stats()
+	fmt.Printf("authserve: served %d queries, %d plans (%d join probes, %d Bloom negatives), %d summary fetches across %d conns\n",
+		st.Queries, st.Plans, es.JoinProbes, es.BFNegatives, st.Summaries, st.Conns)
+	return nil
+}
+
+// runPlanQuery issues -count select-project-join plan queries and
+// reports the verified composite answers.
+func runPlanQuery(cl *client.Client, names []string, rel, joinRel, method, attrsFlag string, lo, hi int64, count int) error {
+	spec := &query.Spec{Rel: rel, Lo: lo, Hi: hi}
+	for _, a := range splitList(attrsFlag) {
+		slot, err := strconv.Atoi(a)
+		if err != nil || slot < 0 {
+			return fmt.Errorf("bad attribute slot %q", a)
+		}
+		spec.Attrs = append(spec.Attrs, slot)
+	}
+	if joinRel != "" {
+		js := &query.JoinSpec{Rel: joinRel}
+		switch strings.ToLower(strings.TrimSpace(method)) {
+		case "bf":
+			js.Method = join.BF
+		case "bv":
+			js.Method = join.BV
+		default:
+			return fmt.Errorf("unknown join method %q (want bf or bv)", method)
+		}
+		spec.Join = js
+	}
+	t0 := time.Now()
+	var comp *wire.Composite
+	var err error
+	for i := 0; i < count; i++ {
+		if comp, err = cl.QueryPlan(spec); err != nil {
+			return err
+		}
+	}
+	rtt := time.Since(t0)
+	line := fmt.Sprintf("authserve query: σ[%d,%d](%s)", lo, hi, rel)
+	if spec.Attrs != nil {
+		line = fmt.Sprintf("%s π%v", line, spec.Attrs)
+	}
+	if spec.Join != nil {
+		line = fmt.Sprintf("%s ⋈ %s (%s)", line, joinRel, strings.ToLower(method))
+	}
+	fmt.Printf("%s -> %d records", line, len(comp.Outer.Records))
+	if comp.Proj != nil {
+		fmt.Printf(", %d projected rows", len(comp.Proj.Rows))
+	}
+	if comp.Join != nil {
+		fmt.Printf(", %d matches + %d non-match proofs", len(comp.Join.Matches), len(comp.Join.Unmatched))
+	}
+	fmt.Printf(" — VERIFIED (chain, projection aggregate, join coverage, freshness)\n")
+	st := cl.Stats()
+	fmt.Printf("authserve query: %d plans verified in %v (%d join matches, %d Bloom negatives, %d Bloom fallbacks, %d boundary proofs, %d attribute signatures)\n",
+		st.Plans, rtt, st.JoinMatches, st.JoinBFNegs, st.JoinBFFalls, st.JoinBounds, st.AttrSigsVerif)
+	return nil
+}
+
+// catalogPublicKeys re-derives every relation's demo public key for a
+// verifying client session.
+func catalogPublicKeys(scheme sigagg.Scheme, keyseed, schemeName string, names []string) (map[string]sigagg.PublicKey, error) {
+	out := make(map[string]sigagg.PublicKey, len(names))
+	for _, name := range names {
+		_, pub, err := scheme.KeyGen(relKeyRand(keyseed, schemeName, name))
+		if err != nil {
+			return nil, fmt.Errorf("keygen for relation %q: %w", name, err)
+		}
+		out[name] = pub
+	}
+	return out, nil
+}

@@ -118,6 +118,17 @@ func (d *detRand) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 func schemeByName(name string) (sigagg.Scheme, error) {
 	switch strings.TrimSpace(name) {
 	case "bas":
@@ -154,8 +165,25 @@ func runServe(args []string) error {
 	snapEvery := fs.Int("snap-every", 2000, "background snapshot + log truncation every k logged messages (0 = initial snapshot only)")
 	groupCommit := fs.Duration("group-commit", 2*time.Millisecond, "WAL fsync batching window (0 = fsync every append)")
 	noSync := fs.Bool("nosync", false, "skip WAL fsync entirely (throwaway data only)")
+	catalog := fs.String("catalog", "", "comma-separated relation names for a multi-relation catalog with plan queries (first = outer; empty = single-relation mode)")
+	joinEvery := fs.Int("join-every", 3, "with -catalog: inner relations hold every k-th outer key")
+	filterBits := fs.Float64("filter-bits", 8, "with -catalog: Bloom bits per key for certified join filters")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if names := splitList(*catalog); len(names) > 0 {
+		if *joinEvery < 2 {
+			return fmt.Errorf("-join-every must be at least 2")
+		}
+		return runServeCatalog(catalogParams{
+			addr: *addr, schemeName: *schemeName, keyseed: *keyseed,
+			names: names, n: *n, joinEvery: *joinEvery,
+			shards: *shards, cacheMB: *cacheMB, filterBits: *filterBits,
+			updEveryMS: *updEveryMS, sumEvery: *sumEvery,
+			maxConns: *maxConns, idleSec: *idleSec, readSec: *readSec, writeSec: *writeSec,
+			statsAddr: *statsAddr, dataDir: *dataDir, snapEvery: *snapEvery,
+			groupCommit: *groupCommit, noSync: *noSync,
+		})
 	}
 
 	scheme, err := schemeByName(*schemeName)
@@ -599,6 +627,11 @@ func runQuery(args []string) error {
 	count := fs.Int("count", 1, "repeat the query this many times (pipelined)")
 	retries := fs.Int("retries", 3, "attempts per request across reconnects/backoff (1 = fail fast)")
 	reqSec := fs.Int("request-timeout", 30, "per-request deadline (seconds; 0 = none)")
+	catalog := fs.String("catalog", "", "comma-separated relation names of the server's catalog (must match the server's -catalog)")
+	rel := fs.String("rel", "", "with -catalog: outer relation of the plan query (default: first catalog relation)")
+	joinRel := fs.String("join", "", "with -catalog: equi-join the selection against this relation")
+	method := fs.String("method", "bf", "join non-match proof method: bf (certified Bloom filter) or bv (boundary values)")
+	attrsFlag := fs.String("attrs", "", "comma-separated attribute slots to project (empty = full records)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -607,8 +640,22 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	names := splitList(*catalog)
+	var relations map[string]sigagg.PublicKey
+	keySuffix := ":" + *schemeName
+	if len(names) > 0 {
+		// Catalog session: per-relation demo keys; the base key pair is
+		// the outer relation's (the plain range protocol serves it too).
+		if relations, err = catalogPublicKeys(scheme, *keyseed, *schemeName, names); err != nil {
+			return err
+		}
+		if *rel == "" {
+			*rel = names[0]
+		}
+		keySuffix = ":" + *schemeName + ":" + names[0]
+	}
 	// Re-derive the demo key pair; only the public half is used.
-	_, pub, err := scheme.KeyGen(newDetRand(*keyseed + ":" + *schemeName))
+	_, pub, err := scheme.KeyGen(newDetRand(*keyseed + keySuffix))
 	if err != nil {
 		return err
 	}
@@ -628,6 +675,7 @@ func runQuery(args []string) error {
 	cl, err := client.DialFleet(addrs, client.Config{
 		Scheme:         bound,
 		Pub:            pub,
+		Relations:      relations,
 		DialTimeout:    5 * time.Second,
 		RequestTimeout: time.Duration(*reqSec) * time.Second,
 		Retry:          client.RetryPolicy{MaxAttempts: *retries},
@@ -636,6 +684,9 @@ func runQuery(args []string) error {
 		return err
 	}
 	defer cl.Close()
+	if len(names) > 0 {
+		return runPlanQuery(cl, names, *rel, *joinRel, *method, *attrsFlag, *lo, *hi, *count)
+	}
 
 	ingested, err := cl.SyncSummaries(0)
 	if err != nil {

@@ -46,3 +46,24 @@ func (s *Scheme) SignBatch(xs []int) int {
 	}
 	return t
 }
+
+// VerifyAll is the planner executor's batch-verification shape: the
+// query engine fans composite-VO verification over the worker pool, and
+// that path is verifier-side — reading the digest cache and per-key
+// tables here is exactly what they exist for. No finding.
+func (s *Scheme) VerifyAll(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += s.decodeCached(x) + s.tables.m["k"]
+	}
+	return t
+}
+
+// signThenVerify is the forbidden composition the executor must avoid:
+// a signer entry point delegating to the (cache-touching) batch
+// verification helper.
+func (s *Scheme) Sign2(x int) int { return x } // helper so the fixture keeps one clean non-entry name
+
+// AggregateInto2 is not an entry point; reaching VerifyAll from it is
+// fine.
+func (s *Scheme) AggregateInto2(xs []int) int { return s.VerifyAll(xs) }

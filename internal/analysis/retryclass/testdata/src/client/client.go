@@ -46,3 +46,35 @@ func suppressed() error {
 	//authlint:ignore retryclass fixture demonstrating a justified suppression
 	return errors.New("deliberately unclassified")
 }
+
+// --- Plan-query ('J'/'P') rows: the composite-answer path added with
+// the multi-relation catalog must classify like every other client
+// error, or a Byzantine replica's malformed composite would read as
+// fatal-unknown instead of quarantinable.
+
+// ErrVerify stands in for sigagg.ErrVerify in this fixture.
+var ErrVerify = errors.New("signature verification failed")
+
+// ErrComposite is the plan path's pattern: a structural-defect sentinel
+// that wraps the verification class at package level, so every
+// composite defect is quarantinable. Exempt.
+var ErrComposite = fmt.Errorf("%w: composite answer malformed", ErrVerify)
+
+// unclassifiedPlanFrame is the regression shape for the new wire kinds:
+// an unexpected response to a 'J'/'P' request constructed without a
+// class — the fleet failover loop could not decide to hop.
+func unclassifiedPlanFrame(kind byte) error {
+	return fmt.Errorf("client: unexpected plan response kind %q", kind) // want `fmt.Errorf without %w`
+}
+
+// droppedBoundary classifies a join-coverage violation as a
+// verification failure (quarantinable): fine.
+func droppedBoundary(key int64) error {
+	return fmt.Errorf("%w: outer key %d has no join proof", ErrComposite, key)
+}
+
+// staleFilterNaked: a BF staleness bound violation must wrap the
+// freshness class, not invent an unclassifiable error.
+func staleFilterNaked(lag int64) error {
+	return fmt.Errorf("client: join filter %d behind the summary stream", lag) // want `fmt.Errorf without %w`
+}

@@ -56,7 +56,16 @@ import (
 // check), so two distinct requested ranges can never share an entry
 // even when they select the same records. The win comes from exact
 // repetition, which is what a zipfian hot head produces.
-type Key struct{ Lo, Hi int64 }
+//
+// Plan distinguishes composite query answers: the planner's canonical
+// plan encoding (empty for plain range answers, so existing callers are
+// the zero-value special case). Two requests share an entry only when
+// their plan bytes are identical — the same σ/π/⋈ over the same
+// relations.
+type Key struct {
+	Lo, Hi int64
+	Plan   string
+}
 
 // Stamp records the versions of everything an answer was derived from:
 // one epoch per consulted data shard (shards First..First+len(Epochs)-1).
@@ -69,6 +78,26 @@ type Key struct{ Lo, Hi int64 }
 type Stamp struct {
 	First  int      // index of the first consulted data shard
 	Epochs []uint64 // epoch per consulted shard, in shard order
+
+	// Rels carries the epoch vector of every named relation a composite
+	// (multi-relation) answer consulted. Single-relation answers leave it
+	// nil; when set, validation requires the source to implement
+	// RelEpochSource, and an update to ANY touched relation — either
+	// side of a join — invalidates the entry.
+	Rels []RelStamp
+}
+
+// RelStamp is one relation's contribution to a composite stamp: the
+// epochs of exactly the data shards the plan consulted, sparse because
+// join probes touch scattered shards rather than a contiguous window.
+// A producer merging probe stamps must keep the LOWER epoch when the
+// same shard is seen twice: the stamp must never claim a version newer
+// than the oldest data actually read, or a concurrent update could be
+// masked.
+type RelStamp struct {
+	Rel    string
+	Shards []int    // consulted shard indexes, ascending
+	Epochs []uint64 // parallel to Shards
 }
 
 // EpochSource exposes the live version counters stamps are validated
@@ -78,11 +107,33 @@ type EpochSource interface {
 	DataEpoch(shard int) uint64
 }
 
-// Valid reports whether the stamp is still current against src.
+// RelEpochSource additionally resolves epochs per named relation, for
+// caches holding composite answers that span a catalog.
+type RelEpochSource interface {
+	EpochSource
+	RelDataEpoch(rel string, shard int) uint64
+}
+
+// Valid reports whether the stamp is still current against src. A stamp
+// carrying relation segments validates only against a RelEpochSource;
+// anything else conservatively reads as stale.
 func (s *Stamp) Valid(src EpochSource) bool {
 	for i, e := range s.Epochs {
 		if src.DataEpoch(s.First+i) != e {
 			return false
+		}
+	}
+	if len(s.Rels) > 0 {
+		rs, ok := src.(RelEpochSource)
+		if !ok {
+			return false
+		}
+		for _, r := range s.Rels {
+			for i, e := range r.Epochs {
+				if rs.RelDataEpoch(r.Rel, r.Shards[i]) != e {
+					return false
+				}
+			}
 		}
 	}
 	return true
@@ -264,9 +315,13 @@ func New(src EpochSource, opts ...Option) *Cache {
 	return c
 }
 
-// shardOf hashes a key onto its lock domain (fmix64 of Lo and Hi).
+// shardOf hashes a key onto its lock domain (fmix64 of Lo, Hi and the
+// plan bytes).
 func (c *Cache) shardOf(key Key) *cshard {
 	h := uint64(key.Lo)*0x9e3779b97f4a7c15 ^ uint64(key.Hi)
+	for i := 0; i < len(key.Plan); i++ {
+		h = h*0x100000001b3 ^ uint64(key.Plan[i])
+	}
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
@@ -398,7 +453,7 @@ func (c *Cache) runBuild(sh *cshard, key Key, f *flight, build func() (*Entry, e
 			// reads.
 			demand := uint64(1 + f.waiters)
 			e.hits.Store(demand)
-			e.size = int64(len(e.Wire)) + entryOverhead
+			e.size = int64(len(e.Wire)) + int64(len(e.Key.Plan)) + entryOverhead
 			e.refs.Add(f.waiters + 1)
 			// Don't evict warm entries for an entry an intersecting
 			// update already invalidated mid-flight — the next lookup

@@ -69,6 +69,12 @@ type Config struct {
 	// across (digest recomputation, batched signature checks).
 	// 0 = GOMAXPROCS. Benchmarks pin it to 1 for per-core numbers.
 	VerifyWorkers int
+	// Relations maps relation names to their owners' public keys for a
+	// multi-relation catalog session. Each relation gets its own
+	// verifier (summary stream, freshness state); composite plan
+	// answers (QueryPlan) are checked per relation against these keys.
+	// Single-relation sessions leave it nil.
+	Relations map[string]sigagg.PublicKey
 }
 
 // Stats are the client's monotonic counters.
@@ -82,6 +88,14 @@ type Stats struct {
 	Shed        uint64 // operations rejected by server overload shedding
 	Failovers   uint64 // reconnects that switched to a different replica
 	Quarantines uint64 // replicas condemned for tampered/diverged state
+
+	// Composite plan-query counters (QueryPlan).
+	Plans         uint64 // composite answers fetched and fully verified
+	JoinMatches   uint64 // matched-key proofs verified
+	JoinBFNegs    uint64 // Bloom-negative non-match proofs verified
+	JoinBFFalls   uint64 // Bloom false positives proven by boundary fallback
+	JoinBounds    uint64 // BV boundary non-match proofs verified
+	AttrSigsVerif uint64 // attribute-level signatures covered by projection aggregates
 
 	// Verification fast-path counters, snapshotted from the scheme at
 	// Stats() time. The scheme's caches are process-wide (DialFleet
@@ -113,6 +127,9 @@ type Client struct {
 	addrs []string         // the replica set, in failover order
 	cur   int              // index of the replica currently connected
 	quar  map[string]error // quarantined replicas and their evidence
+
+	// Catalog state (see plan.go); nil without cfg.Relations.
+	rels map[string]*relSession
 }
 
 // Dial connects to a query server at addr.
@@ -144,6 +161,27 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	}
 	if cfg.VerifyWorkers >= 1 {
 		c.verifier.SetParallelism(cfg.VerifyWorkers)
+	}
+	if len(cfg.Relations) > 0 {
+		c.rels = make(map[string]*relSession, len(cfg.Relations))
+		for name, pub := range cfg.Relations {
+			if name == "" || pub == nil {
+				conn.Close()
+				return nil, fmt.Errorf("%w: relation needs a name and a public key", ErrConfig)
+			}
+			// Aggregation parameters live with the signer's key, so each
+			// relation verifies under a scheme bound to its own owner.
+			bound, err := sigagg.Bind(cfg.Scheme, pub)
+			if err != nil {
+				conn.Close()
+				return nil, fmt.Errorf("%w: relation %q: %v", ErrConfig, name, err)
+			}
+			v := core.NewVerifier(bound, pub, cfg.Protocol)
+			if cfg.VerifyWorkers >= 1 {
+				v.SetParallelism(cfg.VerifyWorkers)
+			}
+			c.rels[name] = &relSession{pub: pub, scheme: bound, verifier: v}
+		}
 	}
 	c.resetBuffers()
 	return c, nil
@@ -402,13 +440,19 @@ var ErrDiverged = fmt.Errorf("%w: certified summary stream diverged (server lost
 // forge "divergence" and kill honest sessions (the conflict is then
 // just transport corruption, and retryable).
 func (c *Client) checkHeld(s *freshness.Summary) error {
-	held, ok := c.verifier.SummaryBySeq(s.Seq)
+	return checkHeldIn(c.verifier, s)
+}
+
+// checkHeldIn is checkHeld against an explicit verifier, shared with the
+// per-relation summary streams of a catalog session.
+func checkHeldIn(v *core.Verifier, s *freshness.Summary) error {
+	held, ok := v.SummaryBySeq(s.Seq)
 	if !ok {
 		return nil
 	}
 	if held.TS != s.TS || held.PeriodStart != s.PeriodStart ||
 		!bytes.Equal(held.Compressed, s.Compressed) || !bytes.Equal(held.Sig, s.Sig) {
-		if err := c.verifier.VerifySummarySig(s); err != nil {
+		if err := v.VerifySummarySig(s); err != nil {
 			return fmt.Errorf("%w: conflicting summary %d is unauthenticated (%v)",
 				wire.ErrCorrupt, s.Seq, err)
 		}

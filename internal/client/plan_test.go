@@ -1,0 +1,485 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"authdb/internal/bloom"
+	"authdb/internal/client"
+	"authdb/internal/core"
+	"authdb/internal/join"
+	"authdb/internal/query"
+	"authdb/internal/server"
+	"authdb/internal/sigagg"
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/wire"
+)
+
+// planFixture is the two-relation catalog from the query package's
+// tests, served over a real loopback NetServer with plans enabled:
+// outer "o" (projection mode, keys 10..1000 step 10, two attribute
+// slots) and inner "i" (multiples of 30), Bloom filter certified at one
+// bit per key so negative probes and false-positive fallbacks both
+// occur.
+type planFixture struct {
+	cat          *core.Catalog
+	outer, inner *core.Relation
+	eng          *query.Engine
+	addr         string
+}
+
+func newPlanFixture(t *testing.T) *planFixture {
+	t.Helper()
+	cat, err := core.NewCatalog(xortest.New(), core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := cat.AddRelation("o", nil, []core.DAOption{core.WithAttrSigning()}, []core.Option{core.WithShards(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := cat.AddRelation("i", nil, nil, []core.Option{core.WithShards(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orecs, irecs []*core.Record
+	for k := int64(10); k <= 1000; k += 10 {
+		orecs = append(orecs, &core.Record{
+			Key:   k,
+			Attrs: [][]byte{[]byte(fmt.Sprintf("name-%d", k)), []byte(fmt.Sprintf("payload-%d", k))},
+		})
+		if k%30 == 0 {
+			irecs = append(irecs, &core.Record{Key: k, Attrs: [][]byte{[]byte(fmt.Sprintf("inner-%d", k))}})
+		}
+	}
+	for _, p := range []struct {
+		rel  *core.Relation
+		recs []*core.Record
+	}{{outer, orecs}, {inner, irecs}} {
+		msg, err := p.rel.DA.Load(p.recs, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err = p.rel.DA.ClosePeriod(1_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := query.NewEngine(query.WithParallelism(2))
+	if err := eng.AddRelation("o", outer.QS); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddRelation("i", inner.QS); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := inner.DA.CertifyFilter(8, 1, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetFilter("i", fc); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.NewNetServer(outer.QS, server.NetConfig{})
+	srv.EnablePlans(eng)
+	ln, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &planFixture{cat: cat, outer: outer, inner: inner, eng: eng, addr: ln.Addr().String()}
+}
+
+func (fx *planFixture) dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	cl, err := client.Dial(addr, client.Config{
+		Scheme:    xortest.New(),
+		Pub:       fx.outer.Pub,
+		Relations: fx.cat.PublicKeys(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func (fx *planFixture) spec(method join.Method, attrs []int) *query.Spec {
+	return &query.Spec{Rel: "o", Lo: 105, Hi: 695, Attrs: attrs, Join: &query.JoinSpec{Rel: "i", Method: method}}
+}
+
+// TestQueryPlanEndToEnd: one wire request expressing σ/π/⋈ over two
+// relations, fully verified client-side — the tentpole path.
+func TestQueryPlanEndToEnd(t *testing.T) {
+	fx := newPlanFixture(t)
+	cl := fx.dial(t, fx.addr)
+	comp, err := cl.QueryPlan(fx.spec(join.BF, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(comp.Outer.Records); got != 59 {
+		t.Fatalf("%d outer records, want 59", got)
+	}
+	if got := len(comp.Join.Matches); got != 20 {
+		t.Fatalf("%d matches, want 20", got)
+	}
+	if comp.Proj == nil || len(comp.Proj.Rows) != 59 {
+		t.Fatalf("projection missing or wrong size: %+v", comp.Proj)
+	}
+	st := cl.Stats()
+	if st.Plans != 1 {
+		t.Fatalf("Plans = %d, want 1", st.Plans)
+	}
+	if st.JoinMatches != 20 {
+		t.Fatalf("JoinMatches = %d, want 20", st.JoinMatches)
+	}
+	if st.JoinBFNegs == 0 || st.JoinBFFalls == 0 {
+		t.Fatalf("BF counters not exercised: negs=%d falls=%d", st.JoinBFNegs, st.JoinBFFalls)
+	}
+	if st.JoinBFNegs+st.JoinBFFalls != 39 {
+		t.Fatalf("negatives+fallbacks = %d, want 39 non-matches", st.JoinBFNegs+st.JoinBFFalls)
+	}
+	if st.AttrSigsVerif != 59 {
+		t.Fatalf("AttrSigsVerif = %d, want 59 (59 rows × 1 attr)", st.AttrSigsVerif)
+	}
+	// The answer's tails seeded both relations' summary streams: a second
+	// query advertises them and still verifies.
+	if _, err := cl.QueryPlan(fx.spec(join.BF, []int{0})); err != nil {
+		t.Fatal(err)
+	}
+	if est := fx.eng.Stats(); est.Cache.Hits == 0 {
+		t.Fatalf("second identical plan missed the server cache: %+v", est.Cache)
+	}
+}
+
+// TestQueryPlanBVAndSelectOnly: the boundary (BV) join method, and a
+// plain select-project plan with no join section.
+func TestQueryPlanBVAndSelectOnly(t *testing.T) {
+	fx := newPlanFixture(t)
+	cl := fx.dial(t, fx.addr)
+	comp, err := cl.QueryPlan(fx.spec(join.BV, []int{0, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(comp.Join.Unmatched); got != 39 {
+		t.Fatalf("%d unmatched proofs, want 39", got)
+	}
+	st := cl.Stats()
+	if st.JoinBounds != 39 || st.JoinBFNegs != 0 {
+		t.Fatalf("BV join counters: bounds=%d bfnegs=%d, want 39/0", st.JoinBounds, st.JoinBFNegs)
+	}
+	if st.AttrSigsVerif != 118 {
+		t.Fatalf("AttrSigsVerif = %d, want 118 (59 rows × 2 attrs)", st.AttrSigsVerif)
+	}
+	// Select-project without a join rides the 'P' frame.
+	comp, err = cl.QueryPlan(&query.Spec{Rel: "o", Lo: 105, Hi: 305, Attrs: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Join != nil {
+		t.Fatal("unrequested join section present")
+	}
+	if got := len(comp.Outer.Records); got != 20 {
+		t.Fatalf("%d records, want 20", got)
+	}
+	// Pure select: no projection either, rows come from the chain proof.
+	comp, err = cl.QueryPlan(&query.Spec{Rel: "o", Lo: 105, Hi: 305})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Proj != nil {
+		t.Fatal("unrequested projection section present")
+	}
+}
+
+// TestQueryPlanSeesInnerUpdate: an insert into the inner relation plus
+// filter re-certification turns a non-match into a match; the client
+// session absorbs the new summary through the answer's tail and the
+// fresh answer verifies — the cached pre-update join must not survive.
+func TestQueryPlanSeesInnerUpdate(t *testing.T) {
+	fx := newPlanFixture(t)
+	cl := fx.dial(t, fx.addr)
+	before, err := cl.QueryPlan(fx.spec(join.BF, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 200 is outer-only before the update.
+	for _, m := range before.Join.Matches {
+		if m.Lo == 200 {
+			t.Fatal("fixture: 200 matched before the insert")
+		}
+	}
+	msg, err := fx.inner.DA.Insert(&core.Record{Key: 200, Attrs: [][]byte{[]byte("late")}}, 1_500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.inner.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = fx.inner.DA.ClosePeriod(2_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.inner.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := fx.inner.DA.CertifyFilter(8, 1, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.eng.SetFilter("i", fc); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cl.QueryPlan(fx.spec(join.BF, []int{0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range after.Join.Matches {
+		if m.Lo == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("post-insert match for 200 missing: stale cached join served and verified")
+	}
+}
+
+// compTamperMode selects the composite-answer forgery.
+type compTamperMode int
+
+const (
+	compTamperNone     compTamperMode = iota
+	compTamperRowSwap                 // swap projected values between two records
+	compTamperSlotSwap                // swap a record's projected values between slots
+	compTamperBloomBit                // flip a bit in a certified Bloom partition
+	compTamperDropBV                  // drop one boundary non-match proof
+)
+
+// compTamperSrv is the Byzantine front for the plan path: it decodes
+// real 'C' responses from an honest upstream, applies one forgery, and
+// re-encodes — syntactically perfect protocol, so only the composite
+// VO verification can reject it.
+type compTamperSrv struct {
+	ln       net.Listener
+	upstream string
+
+	mu   sync.Mutex
+	mode compTamperMode
+}
+
+func newCompTamperSrv(t *testing.T, upstream string) *compTamperSrv {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &compTamperSrv{ln: ln, upstream: upstream}
+	go ts.acceptLoop()
+	t.Cleanup(func() { ln.Close() })
+	return ts
+}
+
+func (ts *compTamperSrv) Addr() string { return ts.ln.Addr().String() }
+
+func (ts *compTamperSrv) SetMode(m compTamperMode) {
+	ts.mu.Lock()
+	ts.mode = m
+	ts.mu.Unlock()
+}
+
+func (ts *compTamperSrv) acceptLoop() {
+	for {
+		down, err := ts.ln.Accept()
+		if err != nil {
+			return
+		}
+		go ts.serve(down)
+	}
+}
+
+func (ts *compTamperSrv) serve(down net.Conn) {
+	defer down.Close()
+	up, err := net.Dial("tcp", ts.upstream)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	var req, resp []byte
+	for {
+		if req, err = wire.ReadFrame(down, req, 0); err != nil {
+			return
+		}
+		if err := wire.WriteFrame(up, req); err != nil {
+			return
+		}
+		if resp, err = wire.ReadFrame(up, resp, 0); err != nil {
+			return
+		}
+		ts.mu.Lock()
+		mode := ts.mode
+		ts.mu.Unlock()
+		out := ts.mutate(mode, resp)
+		if err := wire.WriteFrame(down, out); err != nil {
+			return
+		}
+	}
+}
+
+func (ts *compTamperSrv) mutate(mode compTamperMode, frame []byte) []byte {
+	kind, err := wire.Kind(frame)
+	if err != nil || kind != 'C' || mode == compTamperNone {
+		return frame
+	}
+	comp, err := wire.DecodeComposite(frame)
+	if err != nil {
+		return frame
+	}
+	switch mode {
+	case compTamperRowSwap:
+		if comp.Proj == nil || len(comp.Proj.Rows) < 2 {
+			return frame
+		}
+		r := comp.Proj.Rows
+		r[0].Values[0], r[1].Values[0] = r[1].Values[0], r[0].Values[0]
+	case compTamperSlotSwap:
+		if comp.Proj == nil || len(comp.Proj.Rows) == 0 || len(comp.Proj.AttrIdxs) < 2 {
+			return frame
+		}
+		v := comp.Proj.Rows[0].Values
+		v[0], v[1] = v[1], v[0]
+	case compTamperBloomBit:
+		if comp.Join == nil {
+			return frame
+		}
+		flipped := false
+		for i := range comp.Join.Unmatched {
+			up := &comp.Join.Unmatched[i]
+			if up.Partition == nil {
+				continue
+			}
+			raw := up.Partition.Filter.Marshal()
+			raw[len(raw)-1] ^= 0x01
+			f, err := bloom.Unmarshal(raw)
+			if err != nil {
+				return frame
+			}
+			up.Partition.Filter = f
+			flipped = true
+			break
+		}
+		if !flipped {
+			return frame
+		}
+	case compTamperDropBV:
+		if comp.Join == nil {
+			return frame
+		}
+		dropped := false
+		for i := range comp.Join.Unmatched {
+			if comp.Join.Unmatched[i].Boundary != nil {
+				comp.Join.Unmatched = append(comp.Join.Unmatched[:i:i], comp.Join.Unmatched[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return frame
+		}
+	}
+	out, err := wire.AppendCompositeCore(nil, comp)
+	if err != nil {
+		return frame
+	}
+	return wire.AppendRelTails(out, comp.Tails)
+}
+
+// TestAdversaryProjectedValueSwapRejected: swapping projected values
+// between two records — every byte individually authentic — breaks the
+// attribute-aggregate binding of (record, slot, value) and is rejected
+// as a verification failure.
+func TestAdversaryProjectedValueSwapRejected(t *testing.T) {
+	fx := newPlanFixture(t)
+	ts := newCompTamperSrv(t, fx.addr)
+	cl := fx.dial(t, ts.Addr())
+	for _, mode := range []compTamperMode{compTamperRowSwap, compTamperSlotSwap} {
+		ts.SetMode(mode)
+		_, err := cl.QueryPlan(fx.spec(join.BF, []int{0, 1}))
+		if err == nil {
+			t.Fatalf("mode %d: swapped projection accepted", mode)
+		}
+		if !errors.Is(err, sigagg.ErrVerify) {
+			t.Fatalf("mode %d: surfaced as %v, want sigagg.ErrVerify", mode, err)
+		}
+	}
+	if st := cl.Stats(); st.Plans != 0 {
+		t.Fatalf("%d plans accepted against a forging replica", st.Plans)
+	}
+	// Sanity: the honest path through the same proxy verifies.
+	ts.SetMode(compTamperNone)
+	if _, err := cl.QueryPlan(fx.spec(join.BF, []int{0, 1})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversaryBloomBitFlipRejected: a flipped bit in a served Bloom
+// partition — forcing a false negative-membership claim — no longer
+// matches the owner-certified partition digest and is rejected.
+func TestAdversaryBloomBitFlipRejected(t *testing.T) {
+	fx := newPlanFixture(t)
+	ts := newCompTamperSrv(t, fx.addr)
+	ts.SetMode(compTamperBloomBit)
+	cl := fx.dial(t, ts.Addr())
+	_, err := cl.QueryPlan(fx.spec(join.BF, nil))
+	if err == nil {
+		t.Fatal("tampered Bloom partition accepted")
+	}
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("bit flip surfaced as %v, want sigagg.ErrVerify", err)
+	}
+}
+
+// TestAdversaryDroppedBoundaryRejected: dropping one BV non-match proof
+// (claiming fewer join results than exist) leaves an outer key
+// unresolved; the coverage check rejects the answer.
+func TestAdversaryDroppedBoundaryRejected(t *testing.T) {
+	fx := newPlanFixture(t)
+	ts := newCompTamperSrv(t, fx.addr)
+	ts.SetMode(compTamperDropBV)
+	cl := fx.dial(t, ts.Addr())
+	_, err := cl.QueryPlan(fx.spec(join.BV, nil))
+	if err == nil {
+		t.Fatal("join answer with a dropped non-match proof accepted")
+	}
+	if !errors.Is(err, sigagg.ErrVerify) {
+		t.Fatalf("dropped boundary surfaced as %v, want sigagg.ErrVerify", err)
+	}
+}
+
+// TestQueryPlanUnknownRelation: plans touching relations the session
+// has no key for fail fast and fatally.
+func TestQueryPlanUnknownRelation(t *testing.T) {
+	fx := newPlanFixture(t)
+	cl := fx.dial(t, fx.addr)
+	_, err := cl.QueryPlan(&query.Spec{Rel: "nope", Lo: 1, Hi: 2})
+	if !errors.Is(err, client.ErrConfig) {
+		t.Fatalf("unknown relation surfaced as %v, want ErrConfig", err)
+	}
+	_, err = cl.QueryPlan(&query.Spec{Rel: "o", Lo: 1, Hi: 2, Join: &query.JoinSpec{Rel: "nope"}})
+	if !errors.Is(err, client.ErrConfig) {
+		t.Fatalf("unknown join relation surfaced as %v, want ErrConfig", err)
+	}
+}

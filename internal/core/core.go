@@ -26,9 +26,19 @@ import (
 type Record = chain.Record
 
 // SignedRecord pairs a record with its chained signature.
+//
+// For a projection-mode relation (WithAttrSigning) the chained record is
+// attribute-stripped — the chain proves membership and completeness, and
+// the attribute values travel as a sideband with one owner signature per
+// attribute slot (§3.4): AttrVals are the values at Rec.TS and AttrSigs
+// the matching signatures over AttrDigest(rid, slot, value, ts). Both
+// are nil for ordinary relations.
 type SignedRecord struct {
 	Rec *Record
 	Sig sigagg.Signature
+
+	AttrVals [][]byte
+	AttrSigs []sigagg.Signature
 }
 
 // UpdateMsg is one dissemination unit from the DataAggregator: fresh or

@@ -8,6 +8,8 @@ import (
 	"authdb/internal/btree"
 	"authdb/internal/chain"
 	"authdb/internal/freshness"
+	"authdb/internal/join"
+	"authdb/internal/projection"
 	"authdb/internal/sigagg"
 	"authdb/internal/storage"
 )
@@ -26,11 +28,12 @@ import (
 // WithSerialSigning as the reproducible baseline, mirroring
 // WithLinearAggregation on the query side.
 type DataAggregator struct {
-	scheme sigagg.Scheme
-	priv   sigagg.PrivateKey
-	cfg    Config
-	pool   *sigagg.Pool
-	serial bool // baseline: sign one record at a time, insert per record
+	scheme   sigagg.Scheme
+	priv     sigagg.PrivateKey
+	cfg      Config
+	pool     *sigagg.Pool
+	serial   bool // baseline: sign one record at a time, insert per record
+	attrSign bool // projection mode: chain over stripped records, attrs signed per slot
 
 	index   *btree.Tree        // key -> (rid, current signature)
 	byRID   map[uint64]*Record // rid -> record content
@@ -65,6 +68,31 @@ func WithSignWorkers(n int) DAOption {
 			da.pool = sigagg.NewPool(da.scheme, n)
 		}
 	}
+}
+
+// WithSigningPool makes the aggregator sign through a shared pool
+// instead of creating its own — how a multi-relation Catalog keeps one
+// worker set across every relation's owner (the pool takes the private
+// key per call, so relations with distinct keys share it safely).
+func WithSigningPool(p *sigagg.Pool) DAOption {
+	return func(da *DataAggregator) {
+		if p != nil {
+			da.pool = p
+		}
+	}
+}
+
+// WithAttrSigning switches the relation to projection mode (§3.4): the
+// signature chain covers attribute-stripped records — membership and
+// completeness only — while every attribute value gets its own owner
+// signature binding (rid, slot, value, ts). Dissemination messages then
+// carry the values and per-attribute signatures as a sideband
+// (SignedRecord.AttrVals/AttrSigs), and served range answers contain
+// stripped records, so a projection answer can prove exactly the
+// projected columns with one aggregate signature and zero overhead for
+// the dropped ones.
+func WithAttrSigning() DAOption {
+	return func(da *DataAggregator) { da.attrSign = true }
 }
 
 // NewDataAggregator creates an empty aggregator. The scheme must
@@ -117,13 +145,97 @@ func keysAscending(recs []*Record) bool {
 // slot maps a record to its summary-bitmap position.
 func slot(rid uint64) int { return int(rid) }
 
+// chainDigest is the signed chain message for one version: the full
+// record for ordinary relations, the attribute-stripped view in
+// projection mode (attribute authenticity travels in the per-slot
+// signatures instead, so the chain proves membership and completeness
+// without re-binding values the projection may drop).
+func (da *DataAggregator) chainDigest(v *Record, left, right chain.Ref) []byte {
+	if !da.attrSign || v.Attrs == nil {
+		return recordDigest(v, left, right)
+	}
+	s := Record{RID: v.RID, Key: v.Key, TS: v.TS}
+	return recordDigest(&s, left, right)
+}
+
+// sealMsg attaches the projection-mode sideband to every certified
+// record in msg: the emitted record is replaced by an attribute-stripped
+// copy (the chained view the server stores and serves), and the values
+// plus their per-slot signatures at the version's timestamp ride along.
+// Attribute digests fan out through the signing pool like the chain
+// digests do; the serial baseline signs per record. No-op for ordinary
+// relations. The aggregator's own state (byRID) keeps the full records.
+func (da *DataAggregator) sealMsg(msg *UpdateMsg) error {
+	if !da.attrSign || msg == nil || len(msg.Upserts) == 0 {
+		return nil
+	}
+	n := len(msg.Upserts)
+	rids := make([]uint64, n)
+	attrs := make([][][]byte, n)
+	tss := make([]int64, n)
+	for i := range msg.Upserts {
+		up := &msg.Upserts[i]
+		full := up.Rec
+		rids[i], attrs[i], tss[i] = full.RID, full.Attrs, full.TS
+		if attrs[i] == nil {
+			attrs[i] = [][]byte{}
+		}
+		up.Rec = &Record{RID: full.RID, Key: full.Key, TS: full.TS}
+		up.AttrVals = attrs[i]
+	}
+	var sigs [][]sigagg.Signature
+	var err error
+	if da.serial {
+		sigs = make([][]sigagg.Signature, n)
+		for i := range sigs {
+			if sigs[i], err = projection.SignRecord(da.scheme, da.priv, rids[i], attrs[i], tss[i]); err != nil {
+				break
+			}
+		}
+	} else {
+		sigs, err = projection.SignRecords(da.pool, da.priv, rids, attrs, tss)
+	}
+	if err != nil {
+		return fmt.Errorf("core: attr signing: %w", err)
+	}
+	for i := range msg.Upserts {
+		msg.Upserts[i].AttrSigs = sigs[i]
+	}
+	return nil
+}
+
+// sealed is sealMsg shaped for return statements.
+func (da *DataAggregator) sealed(msg *UpdateMsg) (*UpdateMsg, error) {
+	if err := da.sealMsg(msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// AttrSigning reports whether the relation runs in projection mode.
+func (da *DataAggregator) AttrSigning() bool { return da.attrSign }
+
+// CertifyFilter builds and signs a partitioned Bloom filter over the
+// relation's current key set at time ts (§3.5), for servers answering
+// equi-joins with Bloom-negative unmatched proofs. The owner re-certifies
+// after updates that change the key set; verifiers bound the filter's
+// age against the relation's certified summaries.
+func (da *DataAggregator) CertifyFilter(valuesPerPartition int, bitsPerKey float64, ts int64) (*join.FilterCert, error) {
+	keys := make([]int64, 0, da.index.Len())
+	da.index.Scan(func(e btree.Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	return join.CertifyKeys(da.pool, da.priv, keys, valuesPerPartition, bitsPerKey, ts)
+}
+
 // signAt certifies a new version of rec chained between left and right
 // at time ts. It never mutates rec: outstanding answers and the query
 // server hold references to earlier versions, so each certification
 // produces a fresh Record value.
 func (da *DataAggregator) signAt(rec *Record, left, right chain.Ref, ts int64, out *[]SignedRecord) error {
 	version := &Record{RID: rec.RID, Key: rec.Key, Attrs: rec.Attrs, TS: ts}
-	sig, err := da.scheme.Sign(da.priv, recordDigest(version, left, right))
+	sig, err := da.scheme.Sign(da.priv, da.chainDigest(version, left, right))
 	if err != nil {
 		return fmt.Errorf("core: sign rid %d: %w", version.RID, err)
 	}
@@ -195,7 +307,7 @@ func (da *DataAggregator) resignBatch(keys []int64, ts int64, out *[]SignedRecor
 		lefts[i], rights[i] = da.neighbours(k)
 	}
 	sigs, err := da.pool.SignIndexed(da.priv, len(keys), func(i int) []byte {
-		return recordDigest(&versions[i], lefts[i], rights[i])
+		return da.chainDigest(&versions[i], lefts[i], rights[i])
 	})
 	if err != nil {
 		return fmt.Errorf("core: batch re-sign: %w", err)
@@ -256,7 +368,7 @@ func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
 				return nil, err
 			}
 		}
-		return msg, nil
+		return da.sealed(msg)
 	}
 
 	// Pipelined: versioned copies and their chained digests first …
@@ -273,7 +385,7 @@ func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
 		if i < n-1 {
 			right = sorted[i+1].Ref()
 		}
-		return recordDigest(&versions[i], left, right)
+		return da.chainDigest(&versions[i], left, right)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: pipelined load: %w", err)
@@ -297,7 +409,7 @@ func (da *DataAggregator) Load(recs []*Record, ts int64) (*UpdateMsg, error) {
 		da.pub.MarkUpdated(slot(v.RID))
 		msg.Upserts[i] = SignedRecord{Rec: v, Sig: sigs[i]}
 	}
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // mergeLoad chains a sorted batch into an already-populated relation:
@@ -380,14 +492,14 @@ func (da *DataAggregator) mergeLoad(sorted []*Record, ts int64, msg *UpdateMsg) 
 	if da.serial {
 		sigs = make([]sigagg.Signature, len(versions))
 		for t := range versions {
-			sigs[t], err = da.scheme.Sign(da.priv, recordDigest(&versions[t], lefts[t], rights[t]))
+			sigs[t], err = da.scheme.Sign(da.priv, da.chainDigest(&versions[t], lefts[t], rights[t]))
 			if err != nil {
 				break
 			}
 		}
 	} else {
 		sigs, err = da.pool.SignIndexed(da.priv, len(versions), func(t int) []byte {
-			return recordDigest(&versions[t], lefts[t], rights[t])
+			return da.chainDigest(&versions[t], lefts[t], rights[t])
 		})
 	}
 	if err != nil {
@@ -407,7 +519,7 @@ func (da *DataAggregator) mergeLoad(sorted []*Record, ts int64, msg *UpdateMsg) 
 		da.pub.MarkUpdated(slot(v.RID))
 		msg.Upserts = append(msg.Upserts, SignedRecord{Rec: v, Sig: sigs[t]})
 	}
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // Insert adds a new record at time ts. The chaining of both neighbours
@@ -436,7 +548,7 @@ func (da *DataAggregator) Insert(rec *Record, ts int64) (*UpdateMsg, error) {
 			return nil, err
 		}
 	}
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // Update replaces the record's attribute values at time ts; neighbours
@@ -452,7 +564,7 @@ func (da *DataAggregator) Update(key int64, attrs [][]byte, ts int64) (*UpdateMs
 	if err := da.signAt(newVersion, left, right, ts, &msg.Upserts); err != nil {
 		return nil, err
 	}
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // Delete removes the record at time ts; its former neighbours now chain
@@ -478,7 +590,7 @@ func (da *DataAggregator) Delete(key int64, ts int64) (*UpdateMsg, error) {
 			return nil, err
 		}
 	}
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // ClosePeriod certifies the current ρ-period's summary at time ts and
@@ -507,7 +619,7 @@ func (da *DataAggregator) ClosePeriod(ts int64) (*UpdateMsg, error) {
 	}
 	da.multiPending = multi
 	msg.Summary = &summary
-	return msg, nil
+	return da.sealed(msg)
 }
 
 // RenewOld re-signs up to budget records whose signatures are older
@@ -553,6 +665,9 @@ func (da *DataAggregator) RenewOld(now int64, budget int) (*UpdateMsg, int, erro
 		}
 		return nil, 0, err
 	}
+	if err := da.sealMsg(msg); err != nil {
+		return nil, 0, err
+	}
 	return msg, len(keys), nil
 }
 
@@ -576,7 +691,11 @@ func (da *DataAggregator) SnapshotMsg(ts int64) (*UpdateMsg, error) {
 	if !found {
 		return nil, fmt.Errorf("core: snapshot: missing record body for rid %d", missing)
 	}
-	return msg, nil
+	// Projection mode: the served records are stripped and the sideband is
+	// regenerated at each record's own certification time (deterministic
+	// schemes reproduce the original signatures; verification only needs
+	// validity either way).
+	return da.sealed(msg)
 }
 
 // SummariesSince returns retained summaries published at or after ts

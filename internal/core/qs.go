@@ -70,7 +70,17 @@ type shard struct {
 	mu    sync.RWMutex
 	index *btree.Tree
 	agg   *aggtree.Tree
-	recs  map[int64]*Record // key -> current record body
+	recs  map[int64]*Record   // key -> current record body
+	side  map[int64]*AttrSide // key -> projection sideband (projection-mode relations only)
+}
+
+// AttrSide is the projection-mode sideband stored next to a record: the
+// attribute values at the record's certified timestamp and one owner
+// signature per attribute slot (§3.4). Ordinary relations never populate
+// it.
+type AttrSide struct {
+	Vals [][]byte
+	Sigs []sigagg.Signature
 }
 
 // QueryServer is the untrusted server: it stores the records,
@@ -193,6 +203,7 @@ func newShard(scheme sigagg.Scheme) *shard {
 		index: btree.New(storage.DefaultPageConfig()),
 		agg:   aggtree.New(scheme),
 		recs:  make(map[int64]*Record),
+		side:  make(map[int64]*AttrSide),
 	}
 }
 
@@ -219,6 +230,11 @@ func (qs *QueryServer) Len() int {
 
 // Shards reports the number of key-range shards.
 func (qs *QueryServer) Shards() int { return len(qs.shards) }
+
+// Scheme returns the (bound) signature scheme the server proves under —
+// what a planner executor needs to assemble projection and join proof
+// sections over this relation's answers.
+func (qs *QueryServer) Scheme() sigagg.Scheme { return qs.scheme }
 
 // lockAll write-locks every shard in ascending order.
 func (qs *QueryServer) lockAll() {
@@ -293,11 +309,11 @@ func (qs *QueryServer) maybeSeed(msg *UpdateMsg) error {
 		entries = append(entries, aggtree.Entry{Key: e.Key, RID: e.RID, Sig: e.Sig})
 		return true
 	})
-	recs := old.recs
+	recs, side := old.recs, old.side
 	for i := range qs.shards {
 		qs.shards[i] = newShard(qs.scheme)
 	}
-	if err := qs.bulkFill(entries, recs); err != nil {
+	if err := qs.bulkFill(entries, recs, side); err != nil {
 		return err
 	}
 	return nil
@@ -306,7 +322,7 @@ func (qs *QueryServer) maybeSeed(msg *UpdateMsg) error {
 // bulkFill distributes sorted entries across the (empty) shards,
 // building each shard's B+-tree and aggregation tree bottom-up. Caller
 // must hold either topo exclusively or all shard write locks.
-func (qs *QueryServer) bulkFill(entries []aggtree.Entry, recs map[int64]*Record) error {
+func (qs *QueryServer) bulkFill(entries []aggtree.Entry, recs map[int64]*Record, side map[int64]*AttrSide) error {
 	cfg := storage.DefaultPageConfig()
 	start := 0
 	for i, sh := range qs.shards {
@@ -326,6 +342,9 @@ func (qs *QueryServer) bulkFill(entries []aggtree.Entry, recs map[int64]*Record)
 			be[j] = btree.Entry{Key: e.Key, RID: e.RID, Sig: e.Sig}
 			if rec, ok := recs[e.Key]; ok {
 				sh.recs[e.Key] = rec
+			}
+			if as, ok := side[e.Key]; ok {
+				sh.side[e.Key] = as
 			}
 		}
 		idx, err := btree.BulkLoad(cfg, be)
@@ -407,6 +426,7 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 			}
 		}
 		delete(sh.recs, key)
+		delete(sh.side, key)
 		delete(qs.keyOf, rid)
 		qs.invalidateCacheStructure()
 	}
@@ -421,6 +441,7 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 				}
 			}
 			delete(oldSh.recs, oldKey)
+			delete(oldSh.side, oldKey)
 			qs.invalidateCacheStructure()
 		}
 		sh := qs.shards[qs.shardOf(rec.Key)]
@@ -440,6 +461,9 @@ func (qs *QueryServer) Apply(msg *UpdateMsg) error {
 			}
 		}
 		sh.recs[rec.Key] = rec
+		if sr.AttrVals != nil || sr.AttrSigs != nil {
+			sh.side[rec.Key] = &AttrSide{Vals: sr.AttrVals, Sigs: sr.AttrSigs}
+		}
 		qs.keyOf[rec.RID] = rec.Key
 	}
 	qs.appendSummary(msg.Summary)
@@ -488,13 +512,20 @@ func (qs *QueryServer) applyBulk(msg *UpdateMsg) error {
 	defer qs.unlockAll()
 	entries := make([]aggtree.Entry, len(msg.Upserts))
 	recs := make(map[int64]*Record, len(msg.Upserts))
+	var side map[int64]*AttrSide
 	for i, sr := range msg.Upserts {
 		rec := sr.Rec
 		entries[i] = aggtree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}
 		recs[rec.Key] = rec
+		if sr.AttrVals != nil || sr.AttrSigs != nil {
+			if side == nil {
+				side = make(map[int64]*AttrSide, len(msg.Upserts))
+			}
+			side[rec.Key] = &AttrSide{Vals: sr.AttrVals, Sigs: sr.AttrSigs}
+		}
 		qs.keyOf[rec.RID] = rec.Key
 	}
-	if err := qs.bulkFill(entries, recs); err != nil {
+	if err := qs.bulkFill(entries, recs, side); err != nil {
 		return err
 	}
 	for i := range qs.epochs {

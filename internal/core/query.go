@@ -65,8 +65,44 @@ func entryRef(e btree.Entry) chain.Ref { return chain.Ref{Key: e.Key, RID: e.RID
 // overlapped, computed concurrently — and never by linearly folding the
 // result signatures.
 func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
-	ans, _, err := qs.queryStamped(lo, hi, false)
+	ans, _, err := qs.queryStamped(lo, hi, false, nil)
 	return ans, err
+}
+
+// QueryStamped answers the range selection like Query but returns the
+// cacheable form: a summary-free answer core plus the epoch stamp of
+// every shard the proof consulted (see queryStamped). Planner executors
+// use it for leaf scans so one composite answer can be invalidated by
+// any touched relation's epochs.
+func (qs *QueryServer) QueryStamped(lo, hi int64) (*Answer, anscache.Stamp, error) {
+	return qs.queryStamped(lo, hi, true, nil)
+}
+
+// AttrRow is one answered record's projection sideband: its identity,
+// the attribute values at its certified timestamp, and the per-slot
+// owner signatures (§3.4). Rows align 1:1, in order, with the
+// accompanying answer's Chain.Records; the anchor of an empty answer
+// contributes no row.
+type AttrRow struct {
+	RID  uint64
+	TS   int64
+	Vals [][]byte
+	Sigs []sigagg.Signature
+}
+
+// QueryProj is QueryStamped for a projection-mode relation: alongside
+// the chained (attribute-stripped) answer it returns the sideband rows
+// collected under the same shard locks as the scan, so values, per-slot
+// signatures and chained timestamps always belong to one consistent
+// version. Fails if any answered record lacks a sideband (the relation
+// is not projection-mode).
+func (qs *QueryServer) QueryProj(lo, hi int64) (*Answer, []AttrRow, anscache.Stamp, error) {
+	var rows []AttrRow
+	ans, stamp, err := qs.queryStamped(lo, hi, true, &rows)
+	if err != nil {
+		return nil, nil, anscache.Stamp{}, err
+	}
+	return ans, rows, stamp, nil
 }
 
 // queryStamped is Query plus, when stamped is set, the epoch stamp the
@@ -84,7 +120,7 @@ func (qs *QueryServer) Query(lo, hi int64) (*Answer, error) {
 // by way of an update, and updates already bump the shard epochs in the
 // stamp. Plain Query passes stamped=false: it attaches the full
 // summaries-since-oldest-signature list for in-process consumers.
-func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool) (*Answer, anscache.Stamp, error) {
+func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool, attrs *[]AttrRow) (*Answer, anscache.Stamp, error) {
 	if lo > hi {
 		return nil, anscache.Stamp{}, fmt.Errorf("core: inverted range [%d,%d]", lo, hi)
 	}
@@ -93,10 +129,13 @@ func (qs *QueryServer) queryStamped(lo, hi int64, stamped bool) (*Answer, anscac
 	s, t := qs.shardOf(lo), qs.shardOf(hi)
 	loS, hiS := s, t
 	for {
+		if attrs != nil {
+			*attrs = (*attrs)[:0] // widen retries restart the collection
+		}
 		for j := loS; j <= hiS; j++ {
 			qs.shards[j].mu.RLock()
 		}
-		ans, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi, !stamped)
+		ans, widenLo, widenHi, err := qs.queryWindow(loS, hiS, s, t, lo, hi, !stamped, attrs)
 		var stamp anscache.Stamp
 		if stamped && err == nil && ans != nil {
 			stamp = anscache.Stamp{
@@ -138,7 +177,7 @@ type shardRun struct {
 // behavior of attaching every summary published since the oldest result
 // signature; the serving layer passes false and delta-syncs summaries
 // per client instead.
-func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64, attachSums bool) (*Answer, bool, bool, error) {
+func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64, attachSums bool, attrs *[]AttrRow) (*Answer, bool, bool, error) {
 	w := &window{qs: qs, loS: loS, hiS: hiS}
 	ca := &chain.Answer{Lo: lo, Hi: hi, Left: chain.MinRef, Right: chain.MaxRef}
 	ans := &Answer{Chain: ca}
@@ -206,6 +245,16 @@ func (qs *QueryServer) queryWindow(loS, hiS, s, t int, lo, hi int64, attachSums 
 					return nil, false, false, fmt.Errorf("core: missing record body for rid %d", e.RID)
 				}
 				ca.Records = append(ca.Records, rec)
+				if attrs != nil {
+					// Collected under the same shard locks as the scan, so
+					// the sideband can never be torn against the chained
+					// version (AttrDigest binds the record's timestamp).
+					as, ok := sh.side[e.Key]
+					if !ok {
+						return nil, false, false, fmt.Errorf("core: key %d has no attribute sideband (relation is not projection-mode)", e.Key)
+					}
+					*attrs = append(*attrs, AttrRow{RID: rec.RID, TS: rec.TS, Vals: as.Vals, Sigs: as.Sigs})
+				}
 				if oldestTS == -1 || rec.TS < oldestTS {
 					oldestTS = rec.TS
 				}

@@ -129,7 +129,7 @@ func (qs *QueryServer) Serve(lo, hi int64) (Served, error) {
 	}
 	key := anscache.Key{Lo: lo, Hi: hi}
 	e, outcome, err := st.cache.Do(key, func() (*anscache.Entry, error) {
-		ans, stamp, err := qs.queryStamped(lo, hi, true)
+		ans, stamp, err := qs.queryStamped(lo, hi, true, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -76,7 +76,7 @@ func (da *DataAggregator) Restore(st *OwnerState) error {
 	certTS := make(map[uint64]int64, len(st.Records))
 	nextRID := st.NextRID
 	for i, sr := range st.Records {
-		rec := sr.Rec
+		rec := fullRecord(&sr)
 		if i > 0 && rec.Key <= st.Records[i-1].Rec.Key {
 			return fmt.Errorf("core: restore: records not in strict key order at %d", i)
 		}
@@ -127,7 +127,7 @@ func (da *DataAggregator) ReplayMsg(msg *UpdateMsg) error {
 		da.pub.MarkUpdated(slot(rid))
 	}
 	for _, sr := range msg.Upserts {
-		rec := sr.Rec
+		rec := fullRecord(&sr)
 		if !da.index.Update(rec.Key, sr.Sig) {
 			if err := da.index.Insert(btree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}); err != nil {
 				return fmt.Errorf("core: replay upsert: %w", err)
@@ -150,6 +150,18 @@ func (da *DataAggregator) ReplayMsg(msg *UpdateMsg) error {
 		}
 	}
 	return nil
+}
+
+// fullRecord reconstitutes the owner's view of a disseminated record:
+// for a projection-mode relation the chained record is attribute-stripped
+// and the values ride in the sideband, so recovery folds them back in —
+// the owner's state always holds full records.
+func fullRecord(sr *SignedRecord) *Record {
+	rec := sr.Rec
+	if sr.AttrVals == nil {
+		return rec
+	}
+	return &Record{RID: rec.RID, Key: rec.Key, Attrs: sr.AttrVals, TS: rec.TS}
 }
 
 // ServerState is the QueryServer's durable state: the signed records in
@@ -177,7 +189,11 @@ func (qs *QueryServer) Snapshot() *ServerState {
 	st := &ServerState{Records: make([]SignedRecord, 0, n)}
 	for _, sh := range qs.shards {
 		sh.index.Scan(func(e btree.Entry) bool {
-			st.Records = append(st.Records, SignedRecord{Rec: sh.recs[e.Key], Sig: e.Sig})
+			sr := SignedRecord{Rec: sh.recs[e.Key], Sig: e.Sig}
+			if as, ok := sh.side[e.Key]; ok {
+				sr.AttrVals, sr.AttrSigs = as.Vals, as.Sigs
+			}
+			st.Records = append(st.Records, sr)
 			return true
 		})
 	}
@@ -218,10 +234,17 @@ func (qs *QueryServer) Restore(st *ServerState) error {
 
 	entries := make([]aggtree.Entry, len(st.Records))
 	recs := make(map[int64]*Record, len(st.Records))
+	var side map[int64]*AttrSide
 	for i, sr := range st.Records {
 		rec := sr.Rec
 		entries[i] = aggtree.Entry{Key: rec.Key, RID: rec.RID, Sig: sr.Sig}
 		recs[rec.Key] = rec
+		if sr.AttrVals != nil || sr.AttrSigs != nil {
+			if side == nil {
+				side = make(map[int64]*AttrSide, len(st.Records))
+			}
+			side[rec.Key] = &AttrSide{Vals: sr.AttrVals, Sigs: sr.AttrSigs}
+		}
 		qs.keyOf[rec.RID] = rec.Key
 	}
 	// Re-derive balanced shard boundaries exactly as the one-off seeding
@@ -235,7 +258,7 @@ func (qs *QueryServer) Restore(st *ServerState) error {
 		qs.bounds = bounds
 		qs.seeded = true
 	}
-	if err := qs.bulkFill(entries, recs); err != nil {
+	if err := qs.bulkFill(entries, recs, side); err != nil {
 		return err
 	}
 	for i := range qs.epochs {

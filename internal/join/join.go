@@ -191,6 +191,54 @@ func CertifyFilter(scheme sigagg.Scheme, priv sigagg.PrivateKey, rel *Relation,
 	return fc, nil
 }
 
+// CertifyKeys builds and signs a partitioned Bloom filter directly over
+// a set of join-attribute values, routing the per-partition certifications
+// through the signing pool. This is the data-aggregator path for live
+// relations, where the key set comes from the authenticated index rather
+// than a materialized Relation snapshot.
+func CertifyKeys(pool *sigagg.Pool, priv sigagg.PrivateKey, keys []int64,
+	valuesPerPartition int, bitsPerKey float64, ts int64) (*FilterCert, error) {
+
+	pf, err := bloom.BuildPartitioned(keys, valuesPerPartition, bitsPerKey)
+	if err != nil {
+		return nil, err
+	}
+	sigs, err := pool.SignIndexed(priv, pf.P(), func(i int) []byte {
+		d := partitionCertDigest(&pf.Partitions[i], ts)
+		return d[:]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("join: certify partitions: %w", err)
+	}
+	return &FilterCert{PF: pf, TS: ts, Sigs: sigs}, nil
+}
+
+// VerifyPartitionProof checks one Bloom-negative unmatched proof: the
+// certified partition covers the value, the certification signature is
+// the owner's over the partition contents at filterTS, and the probe is
+// genuinely negative. Exported so composite-VO verifiers can check
+// partition proofs individually while batching the chain-backed proofs
+// elsewhere.
+func VerifyPartitionProof(scheme sigagg.Scheme, pub sigagg.PublicKey,
+	up *UnmatchedProof, filterTS int64) error {
+
+	if up.Partition == nil {
+		return fmt.Errorf("%w: unmatched value %d without partition", sigagg.ErrVerify, up.RA)
+	}
+	if up.RA < up.Partition.Lo || up.RA >= up.Partition.Hi {
+		return fmt.Errorf("%w: partition does not cover %d", sigagg.ErrVerify, up.RA)
+	}
+	d := partitionCertDigest(up.Partition, filterTS)
+	if err := scheme.Verify(pub, d[:], up.PartSig); err != nil {
+		return fmt.Errorf("partition cert for %d: %w", up.RA, err)
+	}
+	if up.Partition.Filter.MayContainUint64(uint64(up.RA)) {
+		return fmt.Errorf("%w: filter probe positive for %d without boundary proof",
+			sigagg.ErrVerify, up.RA)
+	}
+	return nil
+}
+
 // UnmatchedProof proves one unmatched R record.
 type UnmatchedProof struct {
 	RA int64 // the unmatched R.A value
@@ -296,18 +344,8 @@ func Verify(scheme sigagg.Scheme, pub sigagg.PublicKey, ans *Answer) error {
 				return fmt.Errorf("non-match %d: %w", up.RA, err)
 			}
 		case up.Partition != nil:
-			// Certified partition; value must fall in its range and probe
-			// negative.
-			if up.RA < up.Partition.Lo || up.RA >= up.Partition.Hi {
-				return fmt.Errorf("%w: partition does not cover %d", sigagg.ErrVerify, up.RA)
-			}
-			d := partitionCertDigest(up.Partition, ans.FilterTS)
-			if err := scheme.Verify(pub, d[:], up.PartSig); err != nil {
-				return fmt.Errorf("partition cert for %d: %w", up.RA, err)
-			}
-			if up.Partition.Filter.MayContainUint64(uint64(up.RA)) {
-				return fmt.Errorf("%w: filter probe positive for %d without boundary proof",
-					sigagg.ErrVerify, up.RA)
+			if err := VerifyPartitionProof(scheme, pub, &up, ans.FilterTS); err != nil {
+				return err
 			}
 		default:
 			return fmt.Errorf("%w: unmatched value %d without proof", sigagg.ErrVerify, up.RA)

@@ -1,0 +1,57 @@
+package projection
+
+import (
+	"fmt"
+
+	"authdb/internal/sigagg"
+)
+
+// SignRecords produces the per-attribute signatures of many records in
+// one pass through the signing pool: digest production and signing are
+// fanned across the pool's workers and routed through the scheme's
+// batch primitives (CRT signing for condensed RSA, precomputed tables
+// for BAS), exactly like chained-record signing. The output is
+// byte-identical to calling SignRecord per record — parallelism and
+// batching change the schedule, never the signatures.
+//
+// attrs[i] are record i's attribute values, tss[i] its version
+// timestamp. Records may have different attribute counts; a record with
+// none contributes an empty (non-nil) slice.
+func SignRecords(pool *sigagg.Pool, priv sigagg.PrivateKey,
+	rids []uint64, attrs [][][]byte, tss []int64) ([][]sigagg.Signature, error) {
+
+	if len(attrs) != len(rids) || len(tss) != len(rids) {
+		return nil, fmt.Errorf("projection: %d rids, %d attr sets, %d timestamps",
+			len(rids), len(attrs), len(tss))
+	}
+	total := 0
+	for _, a := range attrs {
+		total += len(a)
+	}
+	// Flat index -> (record, attribute slot), so the digest generator is
+	// a pair of array reads and safe for concurrent distinct indices.
+	recOf := make([]int32, total)
+	slotOf := make([]int32, total)
+	j := 0
+	for i, a := range attrs {
+		for k := range a {
+			recOf[j], slotOf[j] = int32(i), int32(k)
+			j++
+		}
+	}
+	flat, err := pool.SignIndexed(priv, total, func(i int) []byte {
+		r, k := recOf[i], slotOf[i]
+		d := AttrDigest(rids[r], int(k), attrs[r][k], tss[r])
+		return d[:]
+	})
+	if err != nil {
+		return nil, fmt.Errorf("projection: batch attr signing: %w", err)
+	}
+	out := make([][]sigagg.Signature, len(rids))
+	j = 0
+	for i, a := range attrs {
+		out[i] = flat[j : j+len(a) : j+len(a)]
+		j += len(a)
+	}
+	return out, nil
+}

@@ -1,0 +1,550 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"authdb/internal/anscache"
+	"authdb/internal/chain"
+	"authdb/internal/core"
+	"authdb/internal/freshness"
+	"authdb/internal/join"
+	"authdb/internal/projection"
+	"authdb/internal/sigagg"
+	"authdb/internal/wire"
+)
+
+// FilterShard is the pseudo-shard index under which a relation's
+// certified-Bloom-filter epoch is stamped. Re-certifying the filter
+// bumps it, so cached BF join answers built against the old filter are
+// invalidated exactly like answers built against old data.
+const FilterShard = -1
+
+// relView is one relation as the executor sees it: the query server
+// plus the owner-certified Bloom filter on its key attribute.
+type relView struct {
+	name string
+	qs   *core.QueryServer
+
+	mu      sync.RWMutex
+	fc      *join.FilterCert
+	fcEpoch atomic.Uint64
+}
+
+// Engine executes plan trees over a catalog of authenticated relations
+// and serves the resulting composite answers through an epoch-validated
+// cache. It is safe for concurrent use.
+type Engine struct {
+	mu   sync.RWMutex
+	rels map[string]*relView
+
+	par   int
+	cache *anscache.Cache
+
+	planQueries atomic.Uint64
+	joinProbes  atomic.Uint64
+	bfProbes    atomic.Uint64
+	bfNegatives atomic.Uint64
+	bfFallbacks atomic.Uint64
+	projRows    atomic.Uint64
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*engineConfig)
+
+type engineConfig struct {
+	par        int
+	cacheBytes int64
+	cacheOff   bool
+}
+
+// WithParallelism caps the workers fanned over independent join-probe
+// subplans (default GOMAXPROCS).
+func WithParallelism(n int) EngineOption {
+	return func(c *engineConfig) {
+		if n >= 1 {
+			c.par = n
+		}
+	}
+}
+
+// WithCacheBytes bounds the plan cache's resident wire bytes.
+func WithCacheBytes(n int64) EngineOption {
+	return func(c *engineConfig) {
+		if n > 0 {
+			c.cacheBytes = n
+		}
+	}
+}
+
+// WithoutCache disables the plan answer cache (every ServePlan call
+// executes the plan).
+func WithoutCache() EngineOption {
+	return func(c *engineConfig) { c.cacheOff = true }
+}
+
+// NewEngine creates an empty executor; add relations before serving.
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := engineConfig{par: runtime.GOMAXPROCS(0), cacheBytes: anscache.DefaultMaxBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{rels: make(map[string]*relView), par: cfg.par}
+	if !cfg.cacheOff {
+		e.cache = anscache.New(e, anscache.WithMaxBytes(cfg.cacheBytes))
+	}
+	return e
+}
+
+// AddRelation registers a named relation's query server.
+func (e *Engine) AddRelation(name string, qs *core.QueryServer) error {
+	if name == "" || qs == nil {
+		return fmt.Errorf("query: relation needs a name and a server")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.rels[name]; dup {
+		return fmt.Errorf("query: duplicate relation %q", name)
+	}
+	e.rels[name] = &relView{name: name, qs: qs}
+	return nil
+}
+
+// SetFilter installs (or replaces) the owner-certified Bloom filter for
+// a relation's key attribute and bumps its filter epoch, invalidating
+// every cached BF join answer built against the previous filter.
+func (e *Engine) SetFilter(name string, fc *join.FilterCert) error {
+	if fc == nil {
+		return fmt.Errorf("query: nil filter certificate")
+	}
+	rv, err := e.rel(name)
+	if err != nil {
+		return err
+	}
+	rv.mu.Lock()
+	rv.fc = fc
+	rv.fcEpoch.Add(1)
+	rv.mu.Unlock()
+	return nil
+}
+
+// Filter returns the relation's current certified filter (nil if none).
+func (e *Engine) Filter(name string) *join.FilterCert {
+	rv, err := e.rel(name)
+	if err != nil {
+		return nil
+	}
+	rv.mu.RLock()
+	defer rv.mu.RUnlock()
+	return rv.fc
+}
+
+func (e *Engine) rel(name string) (*relView, error) {
+	e.mu.RLock()
+	rv := e.rels[name]
+	e.mu.RUnlock()
+	if rv == nil {
+		return nil, fmt.Errorf("query: unknown relation %q", name)
+	}
+	return rv, nil
+}
+
+// Relations lists the registered relation names, sorted.
+func (e *Engine) Relations() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.rels))
+	for n := range e.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- anscache.RelEpochSource ----
+
+// DataEpoch satisfies EpochSource; engine stamps are always relation
+// scoped, so the unscoped epochs are unused.
+func (e *Engine) DataEpoch(int) uint64 { return 0 }
+
+// RelDataEpoch resolves one relation's live shard epoch (or its filter
+// epoch for FilterShard). An unknown relation reads as a sentinel no
+// stamp can carry, so its entries conservatively invalidate.
+func (e *Engine) RelDataEpoch(rel string, shard int) uint64 {
+	e.mu.RLock()
+	rv := e.rels[rel]
+	e.mu.RUnlock()
+	if rv == nil {
+		return math.MaxUint64
+	}
+	if shard == FilterShard {
+		return rv.fcEpoch.Load()
+	}
+	if shard < 0 || shard >= rv.qs.Shards() {
+		return math.MaxUint64
+	}
+	return rv.qs.DataEpoch(shard)
+}
+
+// ---- execution ----
+
+// Result is one executed plan: the composite answer core (no summary
+// tails — those are per-client) and, per touched relation, the oldest
+// proof timestamp a cold client's summary tail must reach back to.
+type Result struct {
+	Comp      *wire.Composite
+	RelOldest map[string]int64
+}
+
+// Execute runs the plan with the engine's configured parallelism.
+func (e *Engine) Execute(n *Node) (*Result, error) {
+	r, _, err := e.exec(n, e.par)
+	return r, err
+}
+
+// ExecuteSerial runs the plan with join probes strictly serialized —
+// the baseline the parallel executor is benchmarked against.
+func (e *Engine) ExecuteSerial(n *Node) (*Result, error) {
+	r, _, err := e.exec(n, 1)
+	return r, err
+}
+
+func relStampOf(name string, st anscache.Stamp) anscache.RelStamp {
+	rs := anscache.RelStamp{Rel: name, Epochs: st.Epochs, Shards: make([]int, len(st.Epochs))}
+	for i := range rs.Shards {
+		rs.Shards[i] = st.First + i
+	}
+	return rs
+}
+
+func (e *Engine) exec(n *Node, workers int) (*Result, anscache.Stamp, error) {
+	var zero anscache.Stamp
+	s, err := analyze(n)
+	if err != nil {
+		return nil, zero, err
+	}
+	outer, err := e.rel(s.scan.Rel)
+	if err != nil {
+		return nil, zero, err
+	}
+	e.planQueries.Add(1)
+
+	// For a join, snapshot the inner relation's full epoch vector (plus
+	// the filter epoch) BEFORE any data is read. Bloom-negative probes
+	// never touch the inner server, yet an insert anywhere in the inner
+	// relation can turn such a non-match into a match — so the stamp
+	// must cover every inner shard, and pessimistically: an update
+	// landing during execution must read as "stamp stale", never as
+	// "stamp current".
+	var (
+		inner      *relView
+		fc         *join.FilterCert
+		innerStamp anscache.RelStamp
+	)
+	if s.jn != nil {
+		if inner, err = e.rel(s.jn.Right.Rel); err != nil {
+			return nil, zero, err
+		}
+		inner.mu.RLock()
+		fc = inner.fc
+		fcEpoch := inner.fcEpoch.Load()
+		inner.mu.RUnlock()
+		if s.jn.Method == join.BF && fc == nil {
+			return nil, zero, fmt.Errorf("query: BF join against %q without a certified filter", inner.name)
+		}
+		innerStamp = anscache.RelStamp{Rel: inner.name}
+		if s.jn.Method == join.BF {
+			innerStamp.Shards = append(innerStamp.Shards, FilterShard)
+			innerStamp.Epochs = append(innerStamp.Epochs, fcEpoch)
+		}
+		for i := 0; i < inner.qs.Shards(); i++ {
+			innerStamp.Shards = append(innerStamp.Shards, i)
+			innerStamp.Epochs = append(innerStamp.Epochs, inner.qs.DataEpoch(i))
+		}
+	}
+
+	// Outer leaf: one authenticated range scan, with the attribute
+	// sideband when the plan projects.
+	var (
+		outAns *core.Answer
+		rows   []core.AttrRow
+		stamp  anscache.Stamp
+	)
+	if s.proj != nil {
+		outAns, rows, stamp, err = outer.qs.QueryProj(s.scan.Lo, s.scan.Hi)
+	} else {
+		outAns, stamp, err = outer.qs.QueryStamped(s.scan.Lo, s.scan.Hi)
+	}
+	if err != nil {
+		return nil, zero, fmt.Errorf("query: outer scan %q: %w", outer.name, err)
+	}
+
+	// Residual filter (naive plans only): narrow the joined/projected
+	// window; the chain proof still covers the scanned range.
+	keep := outAns.Chain.Records
+	keepRows := rows
+	if s.filter != nil {
+		lo := sort.Search(len(keep), func(i int) bool { return keep[i].Key >= s.filter.Lo })
+		hi := sort.Search(len(keep), func(i int) bool { return keep[i].Key > s.filter.Hi })
+		keep = keep[lo:hi]
+		if rows != nil {
+			keepRows = rows[lo:hi]
+		}
+	}
+
+	comp := &wire.Composite{Outer: outAns.Chain}
+	relOldest := map[string]int64{outer.name: outAns.OldestSigTS}
+	relStamps := []anscache.RelStamp{relStampOf(outer.name, stamp)}
+
+	if s.jn != nil {
+		ja, innerOldest, err := e.probe(inner, s.jn.Method, fc, keep, workers)
+		if err != nil {
+			return nil, zero, err
+		}
+		comp.Join = ja
+		if cur, ok := relOldest[inner.name]; !ok || innerOldest < cur {
+			relOldest[inner.name] = innerOldest
+		}
+		relStamps = append(relStamps, innerStamp)
+	}
+
+	if s.proj != nil {
+		pans, err := e.project(outer, s.proj.Attrs, keep, keepRows)
+		if err != nil {
+			return nil, zero, err
+		}
+		comp.Proj = pans
+	}
+
+	return &Result{Comp: comp, RelOldest: relOldest}, anscache.Stamp{Rels: relStamps}, nil
+}
+
+// probe resolves each outer key against the inner relation: for BF
+// joins a certified-filter negative proves absence without touching the
+// server at all; positives (and every BV probe) run a live point scan
+// whose chained answer is either the match proof or — on a Bloom false
+// positive — the boundary fallback.
+func (e *Engine) probe(rv *relView, method join.Method, fc *join.FilterCert,
+	outer []*chain.Record, workers int) (*join.Answer, int64, error) {
+
+	ja := &join.Answer{Method: method}
+	if method == join.BF {
+		ja.FilterTS = fc.TS
+	}
+	type probeOut struct {
+		match  *chain.Answer
+		un     *join.UnmatchedProof
+		oldest int64
+	}
+	outs := make([]probeOut, len(outer))
+	err := sigagg.ForChunks(len(outer), workers, 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			outs[i].oldest = math.MaxInt64
+			v := outer[i].Key
+			if method == join.BF {
+				e.bfProbes.Add(1)
+				idx := fc.PF.Find(v)
+				if idx < 0 {
+					return fmt.Errorf("query: certified filter for %q is empty", rv.name)
+				}
+				part := &fc.PF.Partitions[idx]
+				if !part.Filter.MayContainUint64(uint64(v)) {
+					e.bfNegatives.Add(1)
+					outs[i].un = &join.UnmatchedProof{RA: v, Partition: part, PartSig: fc.Sigs[idx]}
+					continue
+				}
+			}
+			e.joinProbes.Add(1)
+			pa, _, err := rv.qs.QueryStamped(v, v)
+			if err != nil {
+				return fmt.Errorf("query: probe %q key %d: %w", rv.name, v, err)
+			}
+			outs[i].oldest = pa.OldestSigTS
+			if len(pa.Chain.Records) > 0 {
+				outs[i].match = pa.Chain
+			} else {
+				if method == join.BF {
+					e.bfFallbacks.Add(1)
+				}
+				outs[i].un = &join.UnmatchedProof{RA: v, Boundary: pa.Chain}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	oldest := int64(math.MaxInt64)
+	if method == join.BF {
+		oldest = fc.TS
+	}
+	for i := range outs {
+		if outs[i].match != nil {
+			ja.Matches = append(ja.Matches, outs[i].match)
+		}
+		if outs[i].un != nil {
+			ja.Unmatched = append(ja.Unmatched, *outs[i].un)
+		}
+		if outs[i].oldest < oldest {
+			oldest = outs[i].oldest
+		}
+	}
+	return ja, oldest, nil
+}
+
+// project assembles the §3.4 projection section: per-row selected
+// values with one aggregate over the owner's attribute-level signatures.
+func (e *Engine) project(outer *relView, attrs []int, keep []*chain.Record, rows []core.AttrRow) (*projection.Answer, error) {
+	prows := make([]projection.Row, len(keep))
+	sigsByRID := make(map[uint64][]sigagg.Signature, len(rows))
+	for i := range keep {
+		row := rows[i]
+		vals := make([][]byte, len(attrs))
+		for j, a := range attrs {
+			if a >= len(row.Vals) {
+				return nil, fmt.Errorf("query: attribute slot %d out of range for key %d (%d slots)",
+					a, keep[i].Key, len(row.Vals))
+			}
+			vals[j] = row.Vals[a]
+		}
+		prows[i] = projection.Row{RID: row.RID, TS: row.TS, Values: vals}
+		sigsByRID[row.RID] = row.Sigs
+	}
+	e.projRows.Add(uint64(len(prows)))
+	return projection.Build(outer.qs.Scheme(), append([]int(nil), attrs...), prows,
+		func(rid uint64) ([]sigagg.Signature, error) {
+			sigs, ok := sigsByRID[rid]
+			if !ok {
+				return nil, fmt.Errorf("query: no attribute sideband for rid %d", rid)
+			}
+			return sigs, nil
+		})
+}
+
+// ---- serving ----
+
+// ServePlan decodes, executes and encodes one 'J'/'P' plan request,
+// serving repeated plans from the epoch-validated cache. It returns the
+// pre-encoded composite answer core, the per-client relation summary
+// tails, and a release hook that must be called exactly once after the
+// bytes are written out.
+func (e *Engine) ServePlan(planBytes []byte, since []wire.RelSince) (body, tails []byte, release func(), err error) {
+	n, err := UnmarshalPlan(planBytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lo, hi, err := n.Range()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Key on the canonical re-encoding, not the received bytes: two
+	// encodings of the same tree share one entry.
+	key := anscache.Key{Lo: lo, Hi: hi, Plan: string(n.Marshal())}
+
+	if e.cache == nil {
+		r, _, err := e.exec(n, e.par)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		buf, err := wire.AppendCompositeCore(wire.GetBuffer(), r.Comp)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return nil, nil, nil, err
+		}
+		tailBuf, err := e.tails(r, since)
+		if err != nil {
+			wire.PutBuffer(buf)
+			return nil, nil, nil, err
+		}
+		return buf, tailBuf, func() { wire.PutBuffer(buf); wire.PutBuffer(tailBuf) }, nil
+	}
+
+	entry, _, err := e.cache.Do(key, func() (*anscache.Entry, error) {
+		r, stamp, err := e.exec(n, e.par)
+		if err != nil {
+			return nil, err
+		}
+		data, err := wire.AppendCompositeCore(wire.GetBuffer(), r.Comp)
+		if err != nil {
+			wire.PutBuffer(data)
+			return nil, err
+		}
+		return &anscache.Entry{Key: key, Value: r, Wire: data, Stamp: stamp, Free: wire.PutBuffer}, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res := entry.Value.(*Result)
+	tailBuf, err := e.tails(res, since)
+	if err != nil {
+		entry.Release()
+		return nil, nil, nil, err
+	}
+	return entry.Wire, tailBuf, func() { entry.Release(); wire.PutBuffer(tailBuf) }, nil
+}
+
+// tails encodes one summary tail per touched relation, resuming each
+// client from the sequence number it already holds.
+func (e *Engine) tails(res *Result, since []wire.RelSince) ([]byte, error) {
+	names := make([]string, 0, len(res.RelOldest))
+	for name := range res.RelOldest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]wire.RelTail, 0, len(names))
+	for _, name := range names {
+		rv, err := e.rel(name)
+		if err != nil {
+			return nil, err
+		}
+		var sinceSeq uint64
+		for _, rs := range since {
+			if rs.Name == name {
+				sinceSeq = rs.SinceSeq
+			}
+		}
+		out = append(out, wire.RelTail{Rel: name, Summaries: rv.qs.SummariesTail(sinceSeq, res.RelOldest[name])})
+	}
+	return wire.AppendRelTails(wire.GetBuffer(), out), nil
+}
+
+// ServeRelSummaries answers a 'T' request: one relation's summary tail,
+// for clients resynchronizing a per-relation freshness stream.
+func (e *Engine) ServeRelSummaries(rel string, sinceSeq uint64, oldestTS int64) ([]freshness.Summary, error) {
+	rv, err := e.rel(rel)
+	if err != nil {
+		return nil, err
+	}
+	return rv.qs.SummariesTail(sinceSeq, oldestTS), nil
+}
+
+// Stats are the executor's monotonic counters.
+type Stats struct {
+	PlanQueries uint64 // plans executed (cache hits not included)
+	JoinProbes  uint64 // live point scans against inner relations
+	BFProbes    uint64 // outer keys probed through a certified filter
+	BFNegatives uint64 // probes answered by a filter negative alone
+	BFFallbacks uint64 // false positives that fell back to boundaries
+	ProjRows    uint64 // projected rows emitted
+	Cache       anscache.Stats
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		PlanQueries: e.planQueries.Load(),
+		JoinProbes:  e.joinProbes.Load(),
+		BFProbes:    e.bfProbes.Load(),
+		BFNegatives: e.bfNegatives.Load(),
+		BFFallbacks: e.bfFallbacks.Load(),
+		ProjRows:    e.projRows.Load(),
+	}
+	if e.cache != nil {
+		s.Cache = e.cache.Stats()
+	}
+	return s
+}

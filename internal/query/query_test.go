@@ -1,0 +1,514 @@
+package query
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"authdb/internal/core"
+	"authdb/internal/join"
+	"authdb/internal/projection"
+	"authdb/internal/sigagg/xortest"
+	"authdb/internal/wire"
+)
+
+// fixture is a two-relation catalog: outer "o" in projection mode with
+// keys 10,20,…,1000 and two attribute slots, inner "i" holding the
+// multiples of 30 — so roughly a third of the outer keys join.
+type fixture struct {
+	cat          *core.Catalog
+	outer, inner *core.Relation
+	eng          *Engine
+}
+
+func newFixture(t *testing.T, engOpts ...EngineOption) *fixture {
+	t.Helper()
+	cat, err := core.NewCatalog(xortest.New(), core.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := cat.AddRelation("o", nil, []core.DAOption{core.WithAttrSigning()}, []core.Option{core.WithShards(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := cat.AddRelation("i", nil, nil, []core.Option{core.WithShards(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orecs, irecs []*core.Record
+	for k := int64(10); k <= 1000; k += 10 {
+		orecs = append(orecs, &core.Record{
+			Key:   k,
+			Attrs: [][]byte{[]byte(fmt.Sprintf("name-%d", k)), []byte(fmt.Sprintf("payload-%d", k))},
+		})
+		if k%30 == 0 {
+			irecs = append(irecs, &core.Record{Key: k, Attrs: [][]byte{[]byte(fmt.Sprintf("inner-%d", k))}})
+		}
+	}
+	for _, p := range []struct {
+		rel  *core.Relation
+		recs []*core.Record
+	}{{outer, orecs}, {inner, irecs}} {
+		msg, err := p.rel.DA.Load(p.recs, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg, err = p.rel.DA.ClosePeriod(1_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.rel.Deliver(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := NewEngine(append([]EngineOption{WithParallelism(4)}, engOpts...)...)
+	if err := eng.AddRelation("o", outer.QS); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddRelation("i", inner.QS); err != nil {
+		t.Fatal(err)
+	}
+	// One bit per key makes Bloom false positives near-certain for some
+	// probed non-members, so the boundary fallback path is exercised.
+	fc, err := inner.DA.CertifyFilter(8, 1, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetFilter("i", fc); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{cat: cat, outer: outer, inner: inner, eng: eng}
+}
+
+func (fx *fixture) spec(method join.Method) *Spec {
+	return &Spec{Rel: "o", Lo: 105, Hi: 695, Attrs: []int{0}, Join: &JoinSpec{Rel: "i", Method: method}}
+}
+
+// verifyComposite checks every section of a composite answer the way a
+// client would: outer chain + freshness, projection aggregate, join
+// coverage with per-key match/non-match proofs.
+func (fx *fixture) verifyComposite(t *testing.T, comp *wire.Composite, lo, hi int64, now int64) {
+	t.Helper()
+	oans := &core.Answer{Chain: comp.Outer, Summaries: fx.outer.QS.SummariesSince(0)}
+	if _, err := fx.outer.Verifier.VerifyAnswers([]*core.Answer{oans}, []core.Range{{Lo: lo, Hi: hi}}, now); err != nil {
+		t.Fatalf("outer chain: %v", err)
+	}
+	if comp.Proj != nil {
+		if err := projection.Verify(fx.outer.Scheme, fx.outer.Pub, comp.Proj); err != nil {
+			t.Fatalf("projection: %v", err)
+		}
+		if len(comp.Proj.Rows) != len(comp.Outer.Records) {
+			t.Fatalf("%d projected rows for %d records", len(comp.Proj.Rows), len(comp.Outer.Records))
+		}
+	}
+	if comp.Join == nil {
+		return
+	}
+	if err := join.Verify(fx.inner.Scheme, fx.inner.Pub, comp.Join); err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	// Coverage: every outer key resolved exactly once, nothing extra.
+	resolved := map[int64]int{}
+	for _, m := range comp.Join.Matches {
+		resolved[m.Lo]++
+	}
+	for _, up := range comp.Join.Unmatched {
+		resolved[up.RA]++
+	}
+	for _, rec := range comp.Outer.Records {
+		if resolved[rec.Key] != 1 {
+			t.Fatalf("outer key %d resolved %d times", rec.Key, resolved[rec.Key])
+		}
+		delete(resolved, rec.Key)
+	}
+	if len(resolved) != 0 {
+		t.Fatalf("join proofs for keys outside the outer answer: %v", resolved)
+	}
+}
+
+func TestSelectProjectJoinBF(t *testing.T) {
+	fx := newFixture(t)
+	n, err := Plan(fx.spec(join.BF), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fx.eng.Execute(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.verifyComposite(t, res.Comp, 105, 695, 1_000)
+	if got := len(res.Comp.Outer.Records); got != 59 { // 110..690 step 10
+		t.Fatalf("%d outer records, want 59", got)
+	}
+	if got := len(res.Comp.Join.Matches); got != 20 { // 120..690 step 30
+		t.Fatalf("%d matches, want 20", got)
+	}
+	st := fx.eng.Stats()
+	if st.BFProbes != 59 || st.BFNegatives == 0 || st.BFFallbacks == 0 {
+		t.Fatalf("BF counters probes=%d negatives=%d fallbacks=%d; want 59/>0/>0", st.BFProbes, st.BFNegatives, st.BFFallbacks)
+	}
+	// Negatives skip the inner server entirely.
+	if st.JoinProbes != st.BFProbes-st.BFNegatives {
+		t.Fatalf("join probes %d, want %d", st.JoinProbes, st.BFProbes-st.BFNegatives)
+	}
+	if st.ProjRows != 59 {
+		t.Fatalf("%d projected rows counted", st.ProjRows)
+	}
+	// Projection selected slot 0 of each record.
+	for i, rec := range res.Comp.Outer.Records {
+		want := fmt.Sprintf("name-%d", rec.Key)
+		if !bytes.Equal(res.Comp.Proj.Rows[i].Values[0], []byte(want)) {
+			t.Fatalf("row %d: %q, want %q", i, res.Comp.Proj.Rows[i].Values[0], want)
+		}
+	}
+}
+
+func TestSelectJoinBVSerialMatchesParallel(t *testing.T) {
+	fx := newFixture(t)
+	spec := fx.spec(join.BV)
+	spec.Attrs = nil
+	n, err := Plan(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := fx.eng.Execute(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := fx.eng.ExecuteSerial(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Comp, ser.Comp) {
+		t.Fatal("parallel and serial executors disagree")
+	}
+	fx.verifyComposite(t, par.Comp, 105, 695, 1_000)
+	for _, up := range par.Comp.Join.Unmatched {
+		if up.Boundary == nil {
+			t.Fatalf("BV non-match %d without boundary", up.RA)
+		}
+	}
+}
+
+func TestNaivePlanSameJoinAsPushdown(t *testing.T) {
+	fx := newFixture(t)
+	spec := fx.spec(join.BV)
+	spec.Attrs = nil
+	pd, err := Plan(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := Plan(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fx.eng.Execute(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fx.eng.Execute(nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive plan scans the whole domain, so its outer proof is wider,
+	// but the join must resolve exactly the same filtered key set.
+	if len(b.Comp.Outer.Records) != 100 {
+		t.Fatalf("naive scan returned %d records, want the full 100", len(b.Comp.Outer.Records))
+	}
+	if !reflect.DeepEqual(a.Comp.Join, b.Comp.Join) {
+		t.Fatal("pushdown and naive plans joined different key sets")
+	}
+}
+
+func TestPlanCodec(t *testing.T) {
+	specs := []*Spec{
+		{Rel: "o", Lo: 1, Hi: 2},
+		{Rel: "o", Lo: -5, Hi: 5, Attrs: []int{1, 0}},
+		{Rel: "o", Lo: 1, Hi: 9, Join: &JoinSpec{Rel: "i", Method: join.BF}},
+		{Rel: "o", Lo: 1, Hi: 9, Attrs: []int{0}, Join: &JoinSpec{Rel: "i", Method: join.BV}},
+	}
+	for _, spec := range specs {
+		for _, pushdown := range []bool{true, false} {
+			n, err := Plan(spec, pushdown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := n.Marshal()
+			got, err := UnmarshalPlan(data)
+			if err != nil {
+				t.Fatalf("%+v: %v", spec, err)
+			}
+			if !reflect.DeepEqual(got, n) {
+				t.Fatalf("plan round trip mismatch:\n got %+v\nwant %+v", got, n)
+			}
+			if !bytes.Equal(got.Marshal(), data) {
+				t.Fatal("re-encoding is not canonical")
+			}
+			lo, hi, err := got.Range()
+			if err != nil || lo != spec.Lo || hi != spec.Hi {
+				t.Fatalf("Range() = [%d,%d] %v, want [%d,%d]", lo, hi, err, spec.Lo, spec.Hi)
+			}
+		}
+	}
+	for _, bad := range [][]byte{
+		nil,
+		{0},
+		{byte(OpScan), 0, 0}, // empty relation name
+		{byte(OpFilter)},     // truncated
+		append(specs[0].mustPlan(t).Marshal(), 7), // trailing bytes
+	} {
+		if _, err := UnmarshalPlan(bad); err == nil {
+			t.Fatalf("bad plan %v accepted", bad)
+		}
+	}
+	// A filter above a filter (or any misordered tree) is rejected even
+	// though each node is well formed.
+	twisted := &Node{Op: OpFilter, Lo: 1, Hi: 2, Child: &Node{Op: OpFilter, Lo: 1, Hi: 2,
+		Child: &Node{Op: OpScan, Rel: "o", Lo: 0, Hi: 9}}}
+	if _, err := UnmarshalPlan(twisted.Marshal()); err == nil {
+		t.Fatal("duplicate filter accepted")
+	}
+}
+
+func (s *Spec) mustPlan(t *testing.T) *Node {
+	t.Helper()
+	n, err := Plan(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// decodeServed reassembles what a client receives: the cached core and
+// the per-client tails arrive as one frame payload.
+func decodeServed(t *testing.T, body, tails []byte) *wire.Composite {
+	t.Helper()
+	payload := append(append([]byte(nil), body...), tails...)
+	comp, err := wire.DecodeComposite(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// A cached join answer must be invalidated by an update to the INNER
+// relation even when the affected key was answered by a Bloom negative
+// that never touched the inner server.
+func TestCacheInvalidationOnInnerUpdate(t *testing.T) {
+	fx := newFixture(t)
+	spec := fx.spec(join.BF)
+	plan := spec.mustPlan(t).Marshal()
+
+	unmatchedKeys := func(comp *wire.Composite) map[int64]bool {
+		out := map[int64]bool{}
+		for _, up := range comp.Join.Unmatched {
+			out[up.RA] = true
+		}
+		return out
+	}
+
+	body, tails, release, err := fx.eng.ServePlan(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := decodeServed(t, body, tails)
+	release()
+	if !unmatchedKeys(first)[200] {
+		t.Fatal("key 200 should start unmatched")
+	}
+	if len(first.Tails) != 2 || first.Tails[0].Rel != "i" || first.Tails[1].Rel != "o" {
+		t.Fatalf("tails %+v", first.Tails)
+	}
+	if len(first.Tails[0].Summaries) == 0 || len(first.Tails[1].Summaries) == 0 {
+		t.Fatal("cold client got empty summary tails")
+	}
+
+	// Same plan again: a pure cache hit, and a caught-up client's tail
+	// shrinks to the echoed stream tip (rollback evidence).
+	tip := first.Tails[0].Summaries[len(first.Tails[0].Summaries)-1]
+	body, tails, release, err = fx.eng.ServePlan(plan, []wire.RelSince{{Name: "i", SinceSeq: tip.Seq}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := decodeServed(t, body, tails)
+	release()
+	if got := again.Tails[0].Summaries; len(got) != 1 || got[0].Seq != tip.Seq {
+		t.Fatalf("caught-up client's inner tail = %d summaries, want the echoed tip", len(got))
+	}
+	st := fx.eng.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Built != 1 {
+		t.Fatalf("cache hits=%d built=%d, want 1/1", st.Cache.Hits, st.Cache.Built)
+	}
+
+	// Insert key 200 into the inner relation and re-certify the filter:
+	// the cached answer (which proved 200 absent) must be rebuilt and now
+	// match it.
+	msg, err := fx.inner.DA.Insert(&core.Record{Key: 200, Attrs: [][]byte{[]byte("late")}}, 1_500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.inner.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	fc, err := fx.inner.DA.CertifyFilter(8, 1, 1_500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.eng.SetFilter("i", fc); err != nil {
+		t.Fatal(err)
+	}
+	body, tails, release, err = fx.eng.ServePlan(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := decodeServed(t, body, tails)
+	release()
+	if unmatchedKeys(after)[200] {
+		t.Fatal("stale non-match for key 200 served after inner insert")
+	}
+	found := false
+	for _, m := range after.Join.Matches {
+		if m.Lo == 200 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("key 200 not matched after inner insert")
+	}
+	if st = fx.eng.Stats(); st.Cache.Built != 2 {
+		t.Fatalf("cache built=%d after inner update, want 2", st.Cache.Built)
+	}
+	fx.verifyComposite(t, &wire.Composite{Outer: after.Outer, Proj: after.Proj, Join: after.Join}, 105, 695, 1_500)
+}
+
+// A filter re-certification ALONE (no data change) also invalidates
+// cached BF answers — they embed partition proofs under the old cert.
+func TestCacheInvalidationOnFilterSwap(t *testing.T) {
+	fx := newFixture(t)
+	plan := fx.spec(join.BF).mustPlan(t).Marshal()
+	for i := 0; i < 2; i++ {
+		_, _, release, err := fx.eng.ServePlan(plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if st := fx.eng.Stats(); st.Cache.Hits != 1 {
+		t.Fatalf("expected a warm hit, got %+v", st.Cache)
+	}
+	fc, err := fx.inner.DA.CertifyFilter(8, 1, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.eng.SetFilter("i", fc); err != nil {
+		t.Fatal(err)
+	}
+	body, tails, release, err := fx.eng.ServePlan(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := decodeServed(t, body, tails)
+	release()
+	if comp.Join.FilterTS != 2_000 {
+		t.Fatalf("FilterTS %d after swap, want 2000", comp.Join.FilterTS)
+	}
+	if st := fx.eng.Stats(); st.Cache.Built != 2 {
+		t.Fatalf("cache built=%d after filter swap, want 2", st.Cache.Built)
+	}
+}
+
+// Race target: concurrent plan serving against live updates to both
+// relations plus filter swaps. Run under -race in CI.
+func TestConcurrentPlansAndUpdates(t *testing.T) {
+	fx := newFixture(t)
+	plans := [][]byte{
+		fx.spec(join.BF).mustPlan(t).Marshal(),
+		fx.spec(join.BV).mustPlan(t).Marshal(),
+		(&Spec{Rel: "o", Lo: 205, Hi: 495, Attrs: []int{0, 1}}).mustPlan(t).Marshal(),
+		(&Spec{Rel: "i", Lo: 0, Hi: 900}).mustPlan(t).Marshal(),
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body, tails, release, err := fx.eng.ServePlan(plans[(w+i)%len(plans)], nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := wire.DecodeComposite(append(append([]byte(nil), body...), tails...)); err != nil {
+					t.Error(err)
+				}
+				release()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ts := int64(2_000)
+		for i := 0; i < 15; i++ {
+			ts += 10
+			msg, err := fx.outer.DA.Update(int64(10*(i%100)+10), [][]byte{[]byte("x"), []byte("y")}, ts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fx.outer.Deliver(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%5 != 0 {
+				continue
+			}
+			if msg, err = fx.inner.DA.Insert(&core.Record{Key: int64(1_000 + 10*i), Attrs: [][]byte{[]byte("n")}}, ts); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fx.inner.Deliver(msg); err != nil {
+				t.Error(err)
+				return
+			}
+			fc, err := fx.inner.DA.CertifyFilter(8, 4, ts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := fx.eng.SetFilter("i", fc); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestServeRelSummaries(t *testing.T) {
+	fx := newFixture(t)
+	sums, err := fx.eng.ServeRelSummaries("i", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) == 0 {
+		t.Fatal("no summaries for a closed period")
+	}
+	if _, err := fx.eng.ServeRelSummaries("ghost", 0, 0); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestUnknownRelationAndMissingFilter(t *testing.T) {
+	fx := newFixture(t)
+	if _, err := fx.eng.Execute((&Spec{Rel: "ghost", Lo: 0, Hi: 1}).mustPlan(t)); err == nil {
+		t.Fatal("unknown outer relation accepted")
+	}
+	spec := &Spec{Rel: "i", Lo: 0, Hi: 900, Join: &JoinSpec{Rel: "o", Method: join.BF}}
+	if _, err := fx.eng.Execute(spec.mustPlan(t)); err == nil {
+		t.Fatal("BF join without a certified filter accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"authdb/internal/core"
+	"authdb/internal/freshness"
 	"authdb/internal/wire"
 )
 
@@ -73,6 +74,23 @@ type NetStats struct {
 	Malformed   uint64 // connections dropped for unparseable frames
 	BytesOut    uint64 // response payload bytes written
 	ReplStreams uint64 // replication subscriptions accepted
+	Plans       uint64 // 'J'/'P' composite plan frames served
+	RelSums     uint64 // 'T' per-relation summary frames served
+}
+
+// PlanEngine serves composite select-project-join requests over a
+// multi-relation catalog; it is implemented by query.Engine and
+// attached via EnablePlans. As with ReplSource, the serving front end
+// depends only on this interface so it stays decoupled from the
+// planner.
+type PlanEngine interface {
+	// ServePlan executes (or serves from cache) one plan, returning the
+	// pre-encoded composite answer core, the per-client relation summary
+	// tails, and a release hook the caller must invoke exactly once
+	// after both buffers are written out.
+	ServePlan(plan []byte, since []wire.RelSince) (body, tails []byte, release func(), err error)
+	// ServeRelSummaries returns one relation's certified summary tail.
+	ServeRelSummaries(rel string, sinceSeq uint64, oldestTS int64) ([]freshness.Summary, error)
 }
 
 // ReplSource streams the replication feed to a follower connection; it
@@ -104,11 +122,14 @@ type NetServer struct {
 	sem chan struct{} // MaxConns slots, nil when unlimited
 	adm *admission    // nil when MaxInflight is unlimited
 
-	repl ReplSource    // nil unless EnableReplication
-	stop chan struct{} // closed by Shutdown; terminates replication streams
+	repl  ReplSource    // nil unless EnableReplication
+	plans PlanEngine    // nil unless EnablePlans
+	stop  chan struct{} // closed by Shutdown; terminates replication streams
 
 	conNum      atomic.Uint64
 	queries     atomic.Uint64
+	planServed  atomic.Uint64
+	relSums     atomic.Uint64
 	summaries   atomic.Uint64
 	errs        atomic.Uint64
 	malformed   atomic.Uint64
@@ -138,6 +159,13 @@ func NewNetServer(qs *core.QueryServer, cfg NetConfig) *NetServer {
 // src for the rest of its life. Call before Serve.
 func (s *NetServer) EnableReplication(src ReplSource) {
 	s.repl = src
+}
+
+// EnablePlans attaches the catalog plan engine: 'J'/'P' composite query
+// frames and 'T' per-relation summary syncs are served through it. Call
+// before Serve.
+func (s *NetServer) EnablePlans(pe PlanEngine) {
+	s.plans = pe
 }
 
 // ErrServerClosed is returned by Serve after Shutdown.
@@ -289,6 +317,8 @@ func (s *NetServer) Stats() NetStats {
 		Malformed:   s.malformed.Load(),
 		BytesOut:    s.bytesOut.Load(),
 		ReplStreams: s.replStreams.Load(),
+		Plans:       s.planServed.Load(),
+		RelSums:     s.relSums.Load(),
 	}
 	if s.adm != nil {
 		st.Shed = s.adm.shed.Load()
@@ -439,6 +469,10 @@ func (s *NetServer) handle(conn net.Conn) {
 			err = s.serveQuery(w, frame)
 		case 'S':
 			err = s.serveSummaries(w, frame)
+		case 'J', 'P':
+			err = s.servePlan(w, frame)
+		case 'T':
+			err = s.serveRelSummaries(w, frame)
 		default:
 			err = s.writeError(w, fmt.Errorf("server: unsupported request kind %q", kind))
 		}
@@ -525,6 +559,58 @@ func (s *NetServer) serveQuery(w *connWriter, frame []byte) error {
 	s.codec.Free(data)
 	wire.PutBuffer(tailBuf)
 	sv.Release()
+	return werr
+}
+
+// servePlan answers one 'J'/'P' composite plan frame. The engine hands
+// back the (possibly cached) answer-core bytes and this client's
+// relation summary tails; both go under a single length header, exactly
+// like the cached 'Q' path.
+func (s *NetServer) servePlan(w *connWriter, frame []byte) error {
+	plan, since, err := wire.DecodePlanReq(frame)
+	if err != nil {
+		return s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
+	}
+	if s.plans == nil {
+		return s.writeError(w, errors.New("server: plan queries not enabled"))
+	}
+	body, tails, release, err := s.plans.ServePlan(plan, since)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	s.planServed.Add(1)
+	werr := w.frame2(body, tails)
+	release()
+	return werr
+}
+
+// serveRelSummaries answers one 'T' frame — a per-relation summary
+// resync — with a plain 'F' summaries response, capped like 'S'.
+func (s *NetServer) serveRelSummaries(w *connWriter, frame []byte) error {
+	rel, sinceSeq, oldestTS, err := wire.DecodeRelSumsReq(frame)
+	if err != nil {
+		return s.writeErrorCode(w, wire.ErrCodeBadFrame, err)
+	}
+	if s.plans == nil {
+		return s.writeError(w, errors.New("server: plan queries not enabled"))
+	}
+	sums, err := s.plans.ServeRelSummaries(rel, sinceSeq, oldestTS)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	max := s.cfg.MaxSummaries
+	if max <= 0 {
+		max = DefaultMaxSummaries
+	}
+	if len(sums) > max {
+		sums = sums[:max]
+	}
+	buf := wire.AppendSummaries(wire.GetBuffer(), sums)
+	werr := w.frame(buf)
+	wire.PutBuffer(buf)
+	if werr == nil {
+		s.relSums.Add(1)
+	}
 	return werr
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"authdb/internal/query"
 	"authdb/internal/sigagg"
 	"authdb/internal/wal"
 )
@@ -60,6 +61,8 @@ func (s *NetServer) Metrics(m *MetricsBuf) {
 	m.Counter("authdb_net_malformed_total", "Connections dropped for unparseable frames.", st.Malformed)
 	m.Counter("authdb_net_bytes_out_total", "Response payload bytes written.", st.BytesOut)
 	m.Counter("authdb_net_repl_streams_total", "Replication subscriptions accepted.", st.ReplStreams)
+	m.Counter("authdb_net_plans_total", "Composite plan frames served.", st.Plans)
+	m.Counter("authdb_net_rel_summaries_total", "Per-relation summary frames served.", st.RelSums)
 
 	sv := s.qs.ServingStats()
 	m.Counter("authdb_anscache_hits_total", "Answer-cache lookups served from a resident entry.", sv.Answers.Hits)
@@ -72,6 +75,25 @@ func (s *NetServer) Metrics(m *MetricsBuf) {
 	m.Counter("authdb_sigcache_hits_total", "Cached signature aggregates used by queries.", sv.Sig.Hits)
 	m.Counter("authdb_sigcache_query_ops_total", "Aggregation ops spent building query aggregates.", sv.Sig.QueryOps)
 	m.Counter("authdb_sigcache_refresh_ops_total", "Aggregation ops spent refreshing cached aggregates.", sv.Sig.RefreshOps)
+}
+
+// QueryMetrics adapts the plan engine's execution counters for a
+// scrape: plan executions, join probe traffic (including the Bloom
+// negative/fallback split §3.5), projected rows, and the plan cache.
+func QueryMetrics(eng *query.Engine) MetricFn {
+	return func(m *MetricsBuf) {
+		qs := eng.Stats()
+		m.Counter("authdb_query_plans_total", "Plans executed (cache hits excluded).", qs.PlanQueries)
+		m.Counter("authdb_query_join_probes_total", "Live point scans against inner relations.", qs.JoinProbes)
+		m.Counter("authdb_query_bf_probes_total", "Outer keys probed through a certified Bloom filter.", qs.BFProbes)
+		m.Counter("authdb_query_bf_negatives_total", "Probes answered by a filter negative alone.", qs.BFNegatives)
+		m.Counter("authdb_query_bf_fallbacks_total", "Bloom false positives that fell back to boundary proofs.", qs.BFFallbacks)
+		m.Counter("authdb_query_proj_rows_total", "Projected rows emitted.", qs.ProjRows)
+		m.Counter("authdb_plancache_hits_total", "Plan-cache lookups served from a resident entry.", qs.Cache.Hits)
+		m.Counter("authdb_plancache_built_total", "Plan-cache build functions executed.", qs.Cache.Built)
+		m.Counter("authdb_plancache_invalidations_total", "Plan-cache entries dropped on a stale relation stamp.", qs.Cache.Invalidations)
+		m.Gauge("authdb_plancache_bytes", "Resident plan-cache wire bytes.", float64(qs.Cache.Bytes))
+	}
 }
 
 // VerifyMetrics adapts a scheme's verification fast-path counters for a

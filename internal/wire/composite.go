@@ -1,0 +1,447 @@
+// Composite-query wire messages: plan requests ('J' join / 'P'
+// select-project), the composite verifiable-object answer ('C'), and the
+// relation-scoped summary request ('T').
+//
+// Like plain answers, a 'C' message splits into a cacheable core — the
+// plan's proof objects, whose bytes depend only on the touched data —
+// and per-client relation tails (certified-summary deltas) appended at
+// response time, so the answer cache stays valid across ρ-period closes
+// on every relation the plan touched.
+package wire
+
+import (
+	"fmt"
+
+	"authdb/internal/bloom"
+	"authdb/internal/chain"
+	"authdb/internal/freshness"
+	"authdb/internal/join"
+	"authdb/internal/projection"
+	"authdb/internal/sigagg"
+)
+
+// maxRels bounds the relations one request or answer may reference.
+const maxRels = 1 << 10
+
+// RelSince names a relation the client holds certified summaries for,
+// through SinceSeq (0 = cold session).
+type RelSince struct {
+	Name     string
+	SinceSeq uint64
+}
+
+// AppendPlanReq appends a plan request: kind 'J' (the plan contains a
+// join) or 'P' (select-project only), the planner's canonical plan
+// encoding, and the client's per-relation summary positions.
+func AppendPlanReq(buf []byte, kind byte, plan []byte, rels []RelSince) ([]byte, error) {
+	if kind != 'J' && kind != 'P' {
+		return nil, fmt.Errorf("wire: bad plan request kind %q", kind)
+	}
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8(kind)
+	w.bytes(plan)
+	w.u64(uint64(len(rels)))
+	for _, rs := range rels {
+		w.bytes([]byte(rs.Name))
+		w.u64(rs.SinceSeq)
+	}
+	return w.buf, nil
+}
+
+// DecodePlanReq parses a 'J' or 'P' plan request.
+func DecodePlanReq(data []byte) (plan []byte, rels []RelSince, err error) {
+	r := &reader{buf: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, nil, err
+	}
+	if v != Version {
+		return nil, nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, Version)
+	}
+	k, err := r.u8()
+	if err != nil {
+		return nil, nil, err
+	}
+	if k != 'J' && k != 'P' {
+		return nil, nil, fmt.Errorf("%w: message kind %q, want 'J' or 'P'", ErrCorrupt, k)
+	}
+	if plan, err = r.bytes(); err != nil {
+		return nil, nil, err
+	}
+	n, err := r.u64()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxRels {
+		return nil, nil, fmt.Errorf("%w: relation count %d", ErrCorrupt, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		name, err := r.bytes()
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, err := r.u64()
+		if err != nil {
+			return nil, nil, err
+		}
+		rels = append(rels, RelSince{Name: string(name), SinceSeq: seq})
+	}
+	if err := r.done(); err != nil {
+		return nil, nil, err
+	}
+	return plan, rels, nil
+}
+
+// RelTail is one relation's certified-summary delta in a composite
+// answer.
+type RelTail struct {
+	Rel       string
+	Summaries []freshness.Summary
+}
+
+// Composite is the verifiable object of one select-project-join plan:
+// the outer relation's chained scan answer, the optional projection
+// section (§3.4) and join section (§3.5), plus per-relation summary
+// tails for freshness.
+type Composite struct {
+	Outer *chain.Answer
+	Proj  *projection.Answer
+	Join  *join.Answer
+	Tails []RelTail
+}
+
+const (
+	compFlagProj = 1 << 0
+	compFlagJoin = 1 << 1
+)
+
+// AppendCompositeCore appends the cacheable prefix of a composite
+// answer: everything except the per-relation summary tails. Core bytes
+// followed by AppendRelTails bytes form one complete 'C' message.
+func AppendCompositeCore(buf []byte, c *Composite) ([]byte, error) {
+	if c == nil || c.Outer == nil {
+		return nil, fmt.Errorf("wire: nil composite answer")
+	}
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('C')
+	putAnswerBody(w, c.Outer)
+	var flags byte
+	if c.Proj != nil {
+		flags |= compFlagProj
+	}
+	if c.Join != nil {
+		flags |= compFlagJoin
+	}
+	w.u8(flags)
+	if c.Proj != nil {
+		putProjection(w, c.Proj)
+	}
+	if c.Join != nil {
+		if err := putJoin(w, c.Join); err != nil {
+			return nil, err
+		}
+	}
+	return w.buf, nil
+}
+
+// AppendRelTails appends the per-relation summary sections.
+func AppendRelTails(buf []byte, tails []RelTail) []byte {
+	w := &writer{buf: buf}
+	w.u64(uint64(len(tails)))
+	for _, t := range tails {
+		w.bytes([]byte(t.Rel))
+		w.u64(uint64(len(t.Summaries)))
+		for i := range t.Summaries {
+			putSummary(w, &t.Summaries[i])
+		}
+	}
+	return w.buf
+}
+
+// DecodeComposite parses a complete 'C' message (core plus tails).
+func DecodeComposite(data []byte) (*Composite, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'C'); err != nil {
+		return nil, err
+	}
+	outer, err := getAnswerBody(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Composite{Outer: outer}
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^(compFlagProj|compFlagJoin) != 0 {
+		return nil, fmt.Errorf("%w: bad composite flags %#x", ErrCorrupt, flags)
+	}
+	if flags&compFlagProj != 0 {
+		if c.Proj, err = getProjection(r); err != nil {
+			return nil, err
+		}
+	}
+	if flags&compFlagJoin != 0 {
+		if c.Join, err = getJoin(r); err != nil {
+			return nil, err
+		}
+	}
+	nTails, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nTails > maxRels {
+		return nil, fmt.Errorf("%w: tail count %d", ErrCorrupt, nTails)
+	}
+	for i := uint64(0); i < nTails; i++ {
+		name, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		t := RelTail{Rel: string(name)}
+		nSums, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if nSums > maxLen {
+			return nil, fmt.Errorf("%w: summary count %d", ErrCorrupt, nSums)
+		}
+		for j := uint64(0); j < nSums; j++ {
+			s, err := getSummary(r)
+			if err != nil {
+				return nil, err
+			}
+			t.Summaries = append(t.Summaries, s)
+		}
+		c.Tails = append(c.Tails, t)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ---- projection section (§3.4) ----
+
+func putProjection(w *writer, p *projection.Answer) {
+	w.u64(uint64(len(p.AttrIdxs)))
+	for _, idx := range p.AttrIdxs {
+		w.u64(uint64(idx))
+	}
+	w.u64(uint64(len(p.Rows)))
+	for i := range p.Rows {
+		row := &p.Rows[i]
+		w.u64(row.RID)
+		w.i64(row.TS)
+		w.u64(uint64(len(row.Values)))
+		for _, v := range row.Values {
+			w.bytes(v)
+		}
+	}
+	w.bytes(p.Agg)
+}
+
+func getProjection(r *reader) (*projection.Answer, error) {
+	p := &projection.Answer{}
+	nIdx, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nIdx > maxLen {
+		return nil, fmt.Errorf("%w: attr index count %d", ErrCorrupt, nIdx)
+	}
+	for i := uint64(0); i < nIdx; i++ {
+		idx, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if idx > maxLen {
+			return nil, fmt.Errorf("%w: attr index %d", ErrCorrupt, idx)
+		}
+		p.AttrIdxs = append(p.AttrIdxs, int(idx))
+	}
+	nRows, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nRows > maxLen {
+		return nil, fmt.Errorf("%w: row count %d", ErrCorrupt, nRows)
+	}
+	for i := uint64(0); i < nRows; i++ {
+		var row projection.Row
+		if row.RID, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if row.TS, err = r.i64(); err != nil {
+			return nil, err
+		}
+		nVals, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if nVals > maxLen {
+			return nil, fmt.Errorf("%w: value count %d", ErrCorrupt, nVals)
+		}
+		for j := uint64(0); j < nVals; j++ {
+			v, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			row.Values = append(row.Values, v)
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	agg, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	p.Agg = sigagg.Signature(agg)
+	return p, nil
+}
+
+// ---- join section (§3.5) ----
+
+const (
+	unmatchedBoundary = 0
+	unmatchedBloom    = 1
+)
+
+func putJoin(w *writer, j *join.Answer) error {
+	w.u8(byte(j.Method))
+	w.i64(j.FilterTS)
+	w.u64(uint64(len(j.Matches)))
+	for _, m := range j.Matches {
+		putAnswerBody(w, m)
+	}
+	w.u64(uint64(len(j.Unmatched)))
+	for i := range j.Unmatched {
+		up := &j.Unmatched[i]
+		w.i64(up.RA)
+		switch {
+		case up.Partition != nil:
+			w.u8(unmatchedBloom)
+			w.i64(up.Partition.Lo)
+			w.i64(up.Partition.Hi)
+			w.bytes(up.Partition.Filter.Marshal())
+			w.bytes(up.PartSig)
+		case up.Boundary != nil:
+			w.u8(unmatchedBoundary)
+			putAnswerBody(w, up.Boundary)
+		default:
+			return fmt.Errorf("wire: unmatched proof for %d carries neither partition nor boundary", up.RA)
+		}
+	}
+	return nil
+}
+
+func getJoin(r *reader) (*join.Answer, error) {
+	j := &join.Answer{}
+	m, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	j.Method = join.Method(m)
+	if j.FilterTS, err = r.i64(); err != nil {
+		return nil, err
+	}
+	nMatch, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nMatch > maxLen {
+		return nil, fmt.Errorf("%w: match count %d", ErrCorrupt, nMatch)
+	}
+	for i := uint64(0); i < nMatch; i++ {
+		body, err := getAnswerBody(r)
+		if err != nil {
+			return nil, err
+		}
+		j.Matches = append(j.Matches, body)
+	}
+	nUn, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if nUn > maxLen {
+		return nil, fmt.Errorf("%w: unmatched count %d", ErrCorrupt, nUn)
+	}
+	for i := uint64(0); i < nUn; i++ {
+		var up join.UnmatchedProof
+		if up.RA, err = r.i64(); err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case unmatchedBloom:
+			part := &bloom.Partition{}
+			if part.Lo, err = r.i64(); err != nil {
+				return nil, err
+			}
+			if part.Hi, err = r.i64(); err != nil {
+				return nil, err
+			}
+			fb, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if part.Filter, err = bloom.Unmarshal(fb); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			sig, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			up.Partition, up.PartSig = part, sigagg.Signature(sig)
+		case unmatchedBoundary:
+			if up.Boundary, err = getAnswerBody(r); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad unmatched proof kind %d", ErrCorrupt, kind)
+		}
+		j.Unmatched = append(j.Unmatched, up)
+	}
+	return j, nil
+}
+
+// ---- relation-scoped summaries ('T') ----
+
+// AppendRelSumsReq appends a relation-scoped summary request: the delta
+// a session asks for when its held stream for one relation has a gap
+// (the response is a plain 'F' summaries frame).
+func AppendRelSumsReq(buf []byte, rel string, sinceSeq uint64, oldestTS int64) []byte {
+	w := &writer{buf: buf}
+	w.u8(Version)
+	w.u8('T')
+	w.bytes([]byte(rel))
+	w.u64(sinceSeq)
+	w.i64(oldestTS)
+	return w.buf
+}
+
+// DecodeRelSumsReq parses a 'T' request.
+func DecodeRelSumsReq(data []byte) (rel string, sinceSeq uint64, oldestTS int64, err error) {
+	r := &reader{buf: data}
+	if err = header(r, 'T'); err != nil {
+		return "", 0, 0, err
+	}
+	name, err := r.bytes()
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if sinceSeq, err = r.u64(); err != nil {
+		return "", 0, 0, err
+	}
+	if oldestTS, err = r.i64(); err != nil {
+		return "", 0, 0, err
+	}
+	if err = r.done(); err != nil {
+		return "", 0, 0, err
+	}
+	return string(name), sinceSeq, oldestTS, nil
+}

@@ -232,6 +232,21 @@ func AppendUpdateMsg(buf []byte, msg *core.UpdateMsg) []byte {
 	for _, sr := range msg.Upserts {
 		putRecord(w, sr.Rec)
 		w.bytes(sr.Sig)
+		// Projection-mode sideband: the attribute values and per-slot
+		// signatures of a stripped chained record (§3.4).
+		if sr.AttrVals != nil || sr.AttrSigs != nil {
+			w.u8(1)
+			w.u64(uint64(len(sr.AttrVals)))
+			for _, v := range sr.AttrVals {
+				w.bytes(v)
+			}
+			w.u64(uint64(len(sr.AttrSigs)))
+			for _, s := range sr.AttrSigs {
+				w.bytes(s)
+			}
+		} else {
+			w.u8(0)
+		}
 	}
 	w.u64(uint64(len(msg.Deletes)))
 	for _, rid := range msg.Deletes {
@@ -273,7 +288,48 @@ func DecodeUpdateMsg(data []byte) (*core.UpdateMsg, error) {
 		if err != nil {
 			return nil, err
 		}
-		msg.Upserts = append(msg.Upserts, core.SignedRecord{Rec: rec, Sig: sigagg.Signature(sig)})
+		sr := core.SignedRecord{Rec: rec, Sig: sigagg.Signature(sig)}
+		hasSide, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch hasSide {
+		case 1:
+			nv, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if nv > maxLen {
+				return nil, fmt.Errorf("%w: sideband value count %d", ErrCorrupt, nv)
+			}
+			sr.AttrVals = make([][]byte, 0, nv)
+			for j := uint64(0); j < nv; j++ {
+				v, err := r.bytes()
+				if err != nil {
+					return nil, err
+				}
+				sr.AttrVals = append(sr.AttrVals, v)
+			}
+			ns, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if ns > maxLen {
+				return nil, fmt.Errorf("%w: sideband signature count %d", ErrCorrupt, ns)
+			}
+			sr.AttrSigs = make([]sigagg.Signature, 0, ns)
+			for j := uint64(0); j < ns; j++ {
+				s, err := r.bytes()
+				if err != nil {
+					return nil, err
+				}
+				sr.AttrSigs = append(sr.AttrSigs, sigagg.Signature(s))
+			}
+		case 0:
+		default:
+			return nil, fmt.Errorf("%w: bad sideband flag %d", ErrCorrupt, hasSide)
+		}
+		msg.Upserts = append(msg.Upserts, sr)
 	}
 	nDel, err := r.u64()
 	if err != nil {
@@ -347,7 +403,14 @@ func AppendAnswerCore(buf []byte, ans *core.Answer) ([]byte, error) {
 	w := &writer{buf: buf}
 	w.u8(Version)
 	w.u8('A')
-	ca := ans.Chain
+	putAnswerBody(w, ans.Chain)
+	return w.buf, nil
+}
+
+// putAnswerBody encodes the chained-answer section shared by 'A'
+// answers and the sub-answers of a composite ('C') message: range,
+// records, boundary references, optional anchor, aggregate.
+func putAnswerBody(w *writer, ca *chain.Answer) {
 	w.i64(ca.Lo)
 	w.i64(ca.Hi)
 	w.u64(uint64(len(ca.Records)))
@@ -364,27 +427,10 @@ func AppendAnswerCore(buf []byte, ans *core.Answer) ([]byte, error) {
 		w.u8(0)
 	}
 	w.bytes(ca.Agg)
-	return w.buf, nil
 }
 
-// AppendSummaryTail appends an answer encoding's summary section: the
-// count, then each certified summary. AppendAnswerCore bytes followed by
-// AppendSummaryTail bytes form exactly one complete 'A' message.
-func AppendSummaryTail(buf []byte, sums []freshness.Summary) []byte {
-	w := &writer{buf: buf}
-	w.u64(uint64(len(sums)))
-	for i := range sums {
-		putSummary(w, &sums[i])
-	}
-	return w.buf
-}
-
-// DecodeAnswer parses a verifiable query answer.
-func DecodeAnswer(data []byte) (*core.Answer, error) {
-	r := &reader{buf: data}
-	if err := header(r, 'A'); err != nil {
-		return nil, err
-	}
+// getAnswerBody decodes what putAnswerBody wrote.
+func getAnswerBody(r *reader) (*chain.Answer, error) {
 	ca := &chain.Answer{}
 	var err error
 	if ca.Lo, err = r.i64(); err != nil {
@@ -434,6 +480,31 @@ func DecodeAnswer(data []byte) (*core.Answer, error) {
 		return nil, err
 	}
 	ca.Agg = sigagg.Signature(agg)
+	return ca, nil
+}
+
+// AppendSummaryTail appends an answer encoding's summary section: the
+// count, then each certified summary. AppendAnswerCore bytes followed by
+// AppendSummaryTail bytes form exactly one complete 'A' message.
+func AppendSummaryTail(buf []byte, sums []freshness.Summary) []byte {
+	w := &writer{buf: buf}
+	w.u64(uint64(len(sums)))
+	for i := range sums {
+		putSummary(w, &sums[i])
+	}
+	return w.buf
+}
+
+// DecodeAnswer parses a verifiable query answer.
+func DecodeAnswer(data []byte) (*core.Answer, error) {
+	r := &reader{buf: data}
+	if err := header(r, 'A'); err != nil {
+		return nil, err
+	}
+	ca, err := getAnswerBody(r)
+	if err != nil {
+		return nil, err
+	}
 	ans := &core.Answer{Chain: ca}
 	nSums, err := r.u64()
 	if err != nil {
